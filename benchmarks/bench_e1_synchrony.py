@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of E1 (Theorem 1: success under synchrony)."""
+
+from conftest import run_experiment
+
+
+def test_e1_synchrony(benchmark):
+    result = run_experiment(benchmark, "E1")
+    assert all(v == 1.0 for v in result.column("bob_paid"))
+    assert all(v == 1.0 for v in result.column("def1_ok"))
+    for row in result.rows:
+        assert row["max_term_time"] <= row["bound"]

@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of E2 (clock-drift fine-tuning ablation)."""
+
+from conftest import run_experiment
+
+
+def test_e2_drift(benchmark):
+    result = run_experiment(benchmark, "E2")
+    tuned = result.find_rows(calculus="tuned")
+    naive = result.find_rows(calculus="naive")
+    assert all(r["violations"] == 0.0 for r in tuned)
+    assert all(r["violations"] > 0.0 for r in naive if r["rho"] >= 0.005)
+    assert all(r["violations"] == 0.0 for r in naive if r["rho"] == 0.0)

@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of E3 (Theorem 2: impossibility)."""
+
+from conftest import run_experiment
+
+
+def test_e3_impossibility(benchmark):
+    result = run_experiment(benchmark, "E3")
+    family = [r for r in result.rows if r["protocol"].startswith("timebounded")]
+    assert family and all(not r["def_ok"] for r in family)
+    weak = result.find_rows(protocol="weak (Def 2)")
+    assert weak and all(r["def_ok"] for r in weak)

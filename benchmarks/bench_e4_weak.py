@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of E4 (Theorem 3: weak liveness)."""
+
+from conftest import run_experiment
+
+
+def test_e4_weak(benchmark):
+    result = run_experiment(benchmark, "E4")
+    assert all(r["safety_ok"] == 1.0 for r in result.rows)
+    honest = result.find_rows(scenario="honest")
+    assert any(r["committed"] == 1.0 for r in honest)
+    assert any(r["committed"] == 0.0 for r in honest)

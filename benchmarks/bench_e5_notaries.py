@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of E5 (TM realisations, CC thresholds)."""
+
+from conftest import run_experiment
+
+
+def test_e5_notaries(benchmark):
+    result = run_experiment(benchmark, "E5")
+    equiv = [r for r in result.rows if "equivocating" in r["configuration"]]
+    assert equiv and not equiv[0]["cc_ok"]
+    t1 = [r for r in result.rows if "traitors=1" in r["configuration"]]
+    t2 = [r for r in result.rows if "traitors=2" in r["configuration"]]
+    assert t1[0]["cc_ok"] and not t2[0]["cc_ok"]

@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of E6 (Section 5: deals vs payments)."""
+
+from conftest import run_experiment
+
+
+def test_e6_deals(benchmark):
+    result = run_experiment(benchmark, "E6")
+    sync = result.find_rows(protocol="timelock", timing="synchronous", graph="cycle-3")
+    assert sync[0]["strong_liveness"] == 1.0
+    broken = result.find_rows(
+        protocol="timelock", timing="partial-synchrony", graph="cycle-3"
+    )
+    assert broken[0]["safety"] is False
+    certified = result.find_rows(protocol="certified", graph="cycle-3")
+    assert all(r["safety"] for r in certified)
+    assert any(not r["strong_liveness"] for r in certified)

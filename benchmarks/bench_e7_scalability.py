@@ -1,0 +1,27 @@
+"""Benchmark + regeneration of E7 (scalability figure).
+
+Also micro-benchmarks a single large payment run so pytest-benchmark's
+timing statistics capture the simulator's per-run cost directly.
+"""
+
+from conftest import run_experiment
+
+from repro.core.session import PaymentSession
+from repro.core.topology import PaymentTopology
+from repro.net.timing import Synchronous
+
+
+def test_e7_scalability_table(benchmark):
+    result = run_experiment(benchmark, "E7")
+    ns = result.column("n")
+    msgs = result.column("messages")
+    assert all(m == 6 * n for n, m in zip(ns, msgs))
+
+
+def test_single_payment_n32(benchmark):
+    def run_once():
+        topo = PaymentTopology.linear(32, payment_id="bench32")
+        return PaymentSession(topo, "timebounded", Synchronous(1.0), seed=0).run()
+
+    outcome = benchmark(run_once)
+    assert outcome.bob_paid

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of E8 (exhaustive exploration)."""
+
+from conftest import run_experiment
+
+
+def test_e8_exploration(benchmark):
+    result = run_experiment(benchmark, "E8")
+    assert all(v == 0 for v in result.column("violations"))
+    assert all(p >= 2 for p in result.column("paths"))

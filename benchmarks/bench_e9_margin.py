@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of E9 (ablation: timeout margin)."""
+
+from conftest import run_experiment
+
+
+def test_e9_margin_ablation(benchmark):
+    result = run_experiment(benchmark, "E9")
+    # Happy path unaffected by margin:
+    assert all(r["honest_ok"] == 1.0 for r in result.rows)
+    # Refund latency grows monotonically with margin:
+    refunds = result.column("refund_end")
+    assert all(a < b for a, b in zip(refunds, refunds[1:]))
+    # ... and so does the a-priori bound:
+    bounds = result.column("term_bound")
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))

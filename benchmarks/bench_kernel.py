@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not tied to a paper table; they document the cost model underlying E7
+(event throughput and network round-trip cost), guarding against
+performance regressions in the kernel.
+"""
+
+from repro.net.message import MsgKind
+from repro.net.network import Network
+from repro.net.timing import Synchronous
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+
+def test_event_throughput(benchmark):
+    """Schedule + execute 10k chained events."""
+
+    def run_once():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_once) == 10_000
+
+
+class _PingPong(Process):
+    def __init__(self, sim, name, peer, network, limit):
+        super().__init__(sim, name)
+        self.peer = peer
+        self.network = network
+        self.limit = limit
+        self.count = 0
+
+    def handle_message(self, message):
+        self.count += 1
+        if self.count < self.limit:
+            self.network.send(self, self.peer, MsgKind.CONTROL, None)
+
+
+def test_network_round_trips(benchmark):
+    """2k message deliveries through the full network stack."""
+
+    def run_once():
+        sim = Simulator(seed=1)
+        network = Network(sim, Synchronous(1.0))
+        a = _PingPong(sim, "a", "b", network, 1_000)
+        b = _PingPong(sim, "b", "a", network, 1_000)
+        network.register_all([a, b])
+        network.send(a, "b", MsgKind.CONTROL, None)
+        sim.run()
+        return network.stats.delivered
+
+    # initial send + 999 replies from each side:
+    assert benchmark(run_once) == 1_999

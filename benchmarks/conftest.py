@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the reproduction's tables/figures
+(see EXPERIMENTS.md), asserts its headline claim, and prints the table
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
+evaluation in one command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, ExperimentResult, render_table
+
+
+def run_experiment(benchmark, exp_id: str, quick: bool = True) -> ExperimentResult:
+    """Benchmark an experiment and return its (final) result table."""
+    result = benchmark.pedantic(
+        EXPERIMENTS[exp_id], kwargs={"quick": quick, "seed": 0},
+        iterations=1, rounds=3,
+    )
+    print()
+    print(render_table(result))
+    return result

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Section 5: cross-chain deals are not cross-chain payments.
+
+Scene 1 runs a 3-party circular swap (a well-formed deal) through both
+Herlihy–Liskov–Shrira protocols — timelock commit and certified
+blockchain commit — under synchrony and under attack.
+
+Scene 2 makes the separation executable: the payment path is not a
+well-formed deal, the all-abort outcome that deal Safety tolerates is
+forbidden for payments, and a cyclic deal cannot be rearranged into a
+payment path.
+
+Run:  python examples/deals_vs_payments.py
+"""
+
+from repro.deals import (
+    DealMatrix,
+    DealSession,
+    build_certified_deal,
+    build_timelock_deal,
+    separation_report,
+)
+from repro.net.adversary import EdgeDelayAdversary
+from repro.net.timing import PartialSynchrony, Synchronous
+
+
+def show(title, outcome):
+    s = outcome.summary()
+    print(f"--- {title} ---")
+    print(f"  payoffs:         {s['payoffs']}")
+    print(f"  their Safety:    {s['safety']}")
+    print(f"  their Termination: {s['termination']}")
+    print(f"  strong liveness: {s['strong_liveness']}")
+    print()
+    return outcome
+
+
+def main() -> None:
+    swap = DealMatrix.cycle(["alice", "bank", "carol"], units=100)
+    print(f"Deal: 3-party circular swap, well-formed = {swap.is_well_formed()}\n")
+
+    # 1a. timelock commit, synchrony: everything works.
+    o = show(
+        "timelock commit, synchronous network",
+        DealSession(swap, build_timelock_deal, Synchronous(1.0), seed=5).run(),
+    )
+    assert o.all_transfers_happened
+
+    # 1b. timelock commit, partial synchrony + targeted reveal delay:
+    # a COMPLIANT party ends with an unacceptable payoff.
+    o = show(
+        "timelock commit, partial synchrony, delayed secret reveal",
+        DealSession(
+            swap,
+            build_timelock_deal,
+            PartialSynchrony(gst=500.0, delta=0.2, pre_gst_scale=0.0),
+            adversary=EdgeDelayAdversary([("esc_1_2", "bank")]),
+            seed=3,
+        ).run(),
+    )
+    assert not o.safety_ok()
+
+    # 1c. certified blockchain commit, same adversary class: Safety and
+    # Termination survive partial synchrony...
+    o = show(
+        "certified blockchain commit, partial synchrony",
+        DealSession(
+            swap,
+            build_certified_deal,
+            PartialSynchrony(gst=15.0, delta=1.0),
+            seed=5,
+            options={"patience": 500.0},
+            horizon=5_000.0,
+        ).run(),
+    )
+    assert o.safety_ok() and o.termination_ok()
+
+    # 1d. ...but strong liveness cannot: an early abort kills the deal.
+    o = show(
+        "certified blockchain commit, one party aborts first",
+        DealSession(
+            swap,
+            build_certified_deal,
+            Synchronous(1.0),
+            seed=5,
+            byzantine={1: "abort_immediately"},
+            options={"patience": 500.0},
+            horizon=5_000.0,
+        ).run(),
+    )
+    assert o.safety_ok() and not o.all_transfers_happened
+
+    # 2. the separation, executed:
+    print("--- separation witnesses (Section 5) ---")
+    for key, value in separation_report().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Theorem 2, live: why partial synchrony breaks strong guarantees.
+
+We run the *same* time-bounded protocol that succeeds under synchrony,
+but in a partially synchronous network where an adversary may hold
+messages until the (unknown) Global Stabilisation Time.  The adversary
+withholds exactly one message kind — Bob's certificate χ — and the
+protocol's refund timeouts do the rest:
+
+* Bob irrevocably signs χ …
+* … every escrow times out and refunds upstream …
+* … so Bob ends up having "paid" with his signature and received
+  nothing: the conditional guarantees collapse, exactly as Theorem 2
+  predicts for ANY timeout choice.
+
+Then we re-run the scenario with the Theorem 3 weak-liveness protocol:
+it simply aborts (nobody loses anything) and terminates.
+
+Run:  python examples/impossibility_demo.py
+"""
+
+from repro import PartialSynchrony, PaymentSession, PaymentTopology
+from repro.net.adversary import CertificateWithholdingAdversary
+from repro.properties import check_definition1, check_definition2
+
+
+def attack_timebounded(assumed_delta: float) -> None:
+    topology = PaymentTopology.linear(3, payment_id=f"thm2-{assumed_delta}")
+    session = PaymentSession(
+        topology,
+        "timebounded",
+        # GST far beyond any timeout the protocol derives from delta':
+        PartialSynchrony(gst=2_000.0 * assumed_delta, delta=1.0),
+        adversary=CertificateWithholdingAdversary(),
+        seed=7,
+        protocol_options={"delta": assumed_delta},
+    )
+    outcome = session.run()
+    report = check_definition1(outcome)
+    violated = sorted(v.property_id.value for v in report.violations())
+    print(f"timebounded protocol with assumed delta'={assumed_delta}:")
+    print(f"  Bob signed chi:  {outcome.chi_issued()}")
+    print(f"  Bob paid:        {outcome.bob_paid}")
+    print(f"  Alice refunded:  {outcome.refunded('c0')}")
+    print(f"  violated:        {violated}")
+    assert violated, "Theorem 2 says this cannot be clean"
+    print()
+
+
+def weak_protocol_survives() -> None:
+    topology = PaymentTopology.linear(3, payment_id="thm3-contrast")
+    session = PaymentSession(
+        topology,
+        "weak",
+        PartialSynchrony(gst=500.0, delta=1.0),
+        adversary=CertificateWithholdingAdversary(),
+        seed=7,
+        protocol_options={
+            "tm": "trusted",
+            "patience_setup": 50.0,
+            "patience_decision": 50.0,
+        },
+    )
+    outcome = session.run()
+    report = check_definition2(outcome, patient=False)
+    print("weak-liveness protocol (Definition 2) under the same adversary:")
+    print(f"  decision:        {sorted(outcome.decision_kinds_issued())}")
+    print(f"  Bob paid:        {outcome.bob_paid}")
+    print(f"  all terminated:  {outcome.all_participants_terminated()}")
+    print(f"  violations:      {[repr(v) for v in report.violations()] or 'none'}")
+    assert report.all_ok
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Theorem 2: the certificate-withholding adversary vs any timeout")
+    print("=" * 70)
+    for assumed_delta in (1.0, 10.0, 100.0):
+        attack_timebounded(assumed_delta)
+    print("=" * 70)
+    weak_protocol_survives()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Post-mortem of a payment run with the analysis toolkit.
+
+Runs the same payment twice — once honest, once with Bob withholding
+his certificate — and prints the full forensic report for each:
+message flow, per-kind latencies, every ledger movement, and the
+termination order.  This is the view an operator would use to answer
+"where exactly did my money go?".
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro import PaymentSession, PaymentTopology, Synchronous
+from repro.analysis import latency_stats, summarize
+
+
+def run(title, byzantine):
+    topology = PaymentTopology.linear(2, base_units=500, commission_units=5,
+                                      payment_id="forensics")
+    session = PaymentSession(
+        topology, "timebounded", Synchronous(1.0), seed=13, rho=0.005,
+        byzantine=byzantine,
+    )
+    outcome = session.run()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(summarize(outcome))
+    print("\nper-kind delivery latency:")
+    for stats in latency_stats(outcome.trace).values():
+        print(
+            f"  {stats.kind:<12s} count={stats.count:2d} "
+            f"mean={stats.mean:.3f} max={stats.maximum:.3f}"
+        )
+    print()
+    return outcome
+
+
+def main() -> None:
+    honest = run("Scene 1: honest run (commit path)", byzantine={})
+    assert honest.bob_paid
+
+    refund = run(
+        "Scene 2: Bob never signs (refund path)",
+        byzantine={"c2": "bob_never_signs"},
+    )
+    assert not refund.bob_paid and refund.refunded("c0")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""Trace analytics: turn a finished run into human-readable evidence.
+
+Downstream users debugging a protocol variant need three views of a
+run: *who sent what when* (message flow), *how long things took*
+(latency statistics), and *where the money went* (ledger movements).
+This module derives all three from the structured trace, plus a
+one-call :func:`summarize` used by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .core.outcomes import PaymentOutcome
+from .sim.trace import TraceKind, TraceRecorder
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Delivery-latency statistics for one message kind."""
+
+    kind: str
+    count: int
+    mean: float
+    maximum: float
+
+
+def message_flow(trace: TraceRecorder, limit: Optional[int] = None) -> List[str]:
+    """Sequence-diagram-style lines, one per send: ``t  a -> b  kind``."""
+    lines = []
+    for event in trace.events(kind=TraceKind.SEND):
+        lines.append(
+            f"t={event.time:9.4f}  {event.actor:>10s} -> {event.get('to'):<10s} "
+            f"{event.get('msg_kind')}"
+        )
+        if limit is not None and len(lines) >= limit:
+            break
+    return lines
+
+
+def latency_stats(trace: TraceRecorder) -> Dict[str, LatencyStats]:
+    """Per-kind delivery latency (from RECEIVE events)."""
+    buckets: Dict[str, List[float]] = {}
+    for event in trace.events(kind=TraceKind.RECEIVE):
+        kind = str(event.get("msg_kind"))
+        buckets.setdefault(kind, []).append(float(event.get("latency", 0.0)))
+    return {
+        kind: LatencyStats(
+            kind=kind,
+            count=len(values),
+            mean=sum(values) / len(values),
+            maximum=max(values),
+        )
+        for kind, values in sorted(buckets.items())
+    }
+
+
+_MONEY_KINDS = (
+    TraceKind.TRANSFER,
+    TraceKind.ESCROW_DEPOSIT,
+    TraceKind.ESCROW_RELEASE,
+    TraceKind.ESCROW_REFUND,
+)
+
+
+def money_flow(trace: TraceRecorder) -> List[Dict[str, Any]]:
+    """Chronological ledger movements across all escrows."""
+    rows = []
+    for event in trace:
+        if event.kind not in _MONEY_KINDS:
+            continue
+        rows.append(
+            {
+                "time": event.time,
+                "ledger": event.actor,
+                "op": event.kind.value,
+                **{
+                    k: v
+                    for k, v in event.data.items()
+                    if k in ("frm", "to", "depositor", "beneficiary", "asset",
+                             "units", "lock_id", "reason")
+                },
+            }
+        )
+    return rows
+
+
+def termination_order(trace: TraceRecorder) -> List[str]:
+    """Participants in the order they terminated."""
+    return [e.actor for e in trace.events(kind=TraceKind.TERMINATE)]
+
+
+def summarize(outcome: PaymentOutcome, max_messages: int = 20) -> str:
+    """A multi-section human-readable report of one payment run."""
+    lines: List[str] = [
+        f"payment {outcome.payment_id!r} via {outcome.protocol!r}",
+        f"  bob paid: {outcome.bob_paid}; chi issued: {outcome.chi_issued()}; "
+        f"decisions: {sorted(outcome.decision_kinds_issued()) or '-'}",
+        f"  duration {outcome.end_time:.3f}, {outcome.messages_sent} messages, "
+        f"{outcome.events_executed} events",
+        "",
+        "positions:",
+    ]
+    for name in outcome.topology.customers():
+        delta = outcome.position_delta(name) or "unchanged"
+        lines.append(f"  {name}: {delta}")
+    lines.append("")
+    lines.append("ledger movements:")
+    for row in money_flow(outcome.trace):
+        keys = ", ".join(
+            f"{k}={v}" for k, v in row.items() if k not in ("time", "ledger", "op")
+        )
+        lines.append(f"  t={row['time']:8.4f}  {row['ledger']:>4s} {row['op']:<14s} {keys}")
+    lines.append("")
+    lines.append(f"message flow (first {max_messages}):")
+    lines.extend("  " + l for l in message_flow(outcome.trace, limit=max_messages))
+    lines.append("")
+    lines.append("termination order: " + " -> ".join(termination_order(outcome.trace)))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "LatencyStats",
+    "latency_stats",
+    "message_flow",
+    "money_flow",
+    "summarize",
+    "termination_order",
+]

@@ -1,0 +1,53 @@
+"""Composing automata, clocks, and a network into a runnable system."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..clocks import DriftingClock, PERFECT_CLOCK
+from ..errors import AutomatonError
+from ..net.network import Network
+from ..sim.kernel import Simulator
+from .automaton import TimedAutomaton
+
+
+class ANTANetwork:
+    """An Asynchronous Network of Timed Automata, ready to run.
+
+    Collects the automata of one protocol instance, starts them
+    together, and offers whole-system queries (all terminated?, states
+    snapshot) used by sessions and experiments.
+    """
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.automata: Dict[str, TimedAutomaton] = {}
+
+    def add(self, automaton: TimedAutomaton) -> TimedAutomaton:
+        """Register an automaton with the assembly and the network."""
+        if automaton.name in self.automata:
+            raise AutomatonError(f"duplicate automaton {automaton.name!r}")
+        self.automata[automaton.name] = automaton
+        self.network.register(automaton)
+        return automaton
+
+    def start_all(self) -> None:
+        """Enter every automaton's initial state (at the current time)."""
+        for automaton in self.automata.values():
+            automaton.start()
+
+    def all_terminated(self) -> bool:
+        """Whether every automaton reached a final state."""
+        return all(a.terminated for a in self.automata.values())
+
+    def states(self) -> Dict[str, Optional[str]]:
+        """Snapshot of current state names."""
+        return {name: a.state for name, a in self.automata.items()}
+
+    def pending_automata(self) -> List[str]:
+        """Names of automata that have not terminated."""
+        return [name for name, a in self.automata.items() if not a.terminated]
+
+
+__all__ = ["ANTANetwork"]

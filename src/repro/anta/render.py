@@ -1,0 +1,53 @@
+"""Textual rendering of automaton specifications.
+
+Regenerates the content of the paper's Figure 2 from the executable
+specs: every state, its flavour (white = input, grey = output), and its
+outgoing transitions.  Used by ``examples/figure2_automata.py`` and by
+documentation tests that pin the protocol structure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .transitions import AutomatonSpec, StateKind, StateSpec
+
+
+def render_state(state: StateSpec) -> List[str]:
+    """Lines describing one state."""
+    flavour = {
+        StateKind.INPUT: "input (white)",
+        StateKind.OUTPUT: "output (grey)",
+        StateKind.FINAL: "final",
+    }[state.kind]
+    lines = [f"  [{state.name}]  ({flavour})"]
+    for receive in state.receives:
+        frm = receive.frm if isinstance(receive.frm, str) else "<dynamic>"
+        label = receive.label or f"r({frm}, {receive.kind.value})"
+        target = receive.target if isinstance(receive.target, str) else "<dynamic>"
+        lines.append(f"    {label:40s} -> {target}")
+    for timeout in state.timeouts:
+        label = timeout.label or "now >= deadline"
+        target = timeout.target if isinstance(timeout.target, str) else "<dynamic>"
+        lines.append(f"    {label:40s} -> {target}")
+    if state.kind is StateKind.OUTPUT:
+        lines.append("    (computes, sends, then moves on)")
+    return lines
+
+
+def render_spec(spec: AutomatonSpec) -> str:
+    """Multi-line description of a whole automaton."""
+    lines = [f"{spec.name}  (initial: {spec.initial})"]
+    for name in spec.states:
+        lines.extend(render_state(spec.states[name]))
+    return "\n".join(lines)
+
+
+def render_specs(specs: List[AutomatonSpec], title: str = "") -> str:
+    """Render several automata, Figure-2 style."""
+    parts = [title] if title else []
+    parts.extend(render_spec(spec) for spec in specs)
+    return "\n\n".join(parts)
+
+
+__all__ = ["render_spec", "render_specs", "render_state"]

@@ -1,0 +1,14 @@
+"""Byzantine behaviour injection: protocol-level spec transforms and
+generic fault wrappers."""
+
+from .behaviors import SPEC_TRANSFORMS, BehaviorRef, apply_behavior, register_behavior
+from .faults import CrashSchedule, DeafWrapper
+
+__all__ = [
+    "BehaviorRef",
+    "CrashSchedule",
+    "DeafWrapper",
+    "SPEC_TRANSFORMS",
+    "apply_behavior",
+    "register_behavior",
+]

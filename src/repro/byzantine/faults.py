@@ -1,0 +1,93 @@
+"""Generic fault wrappers applicable to any process.
+
+Where :mod:`repro.byzantine.behaviors` rewrites *protocol logic*, the
+wrappers here model *infrastructure-level* faults that apply uniformly:
+crash at a given time, drop a fraction of inbound messages (a deaf
+process), or delay local processing.  They wrap an existing
+:class:`~repro.sim.process.Process` without the protocol knowing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..net.message import Envelope
+from ..sim.kernel import Simulator
+from ..sim.process import Process
+from ..sim.trace import TraceKind
+
+
+class CrashSchedule:
+    """Terminate a process at a fixed global time.
+
+    Usage::
+
+        CrashSchedule(process, at=12.5).arm()
+    """
+
+    def __init__(self, process: Process, at: float) -> None:
+        self.process = process
+        self.at = at
+
+    def arm(self) -> None:
+        """Schedule the crash."""
+        self.process.sim.schedule_at(
+            self.at, self._crash, label=f"crash:{self.process.name}"
+        )
+
+    def _crash(self) -> None:
+        if not self.process.terminated:
+            self.process.sim.trace.record(
+                self.process.sim.now,
+                TraceKind.FAULT,
+                self.process.name,
+                fault="crash",
+            )
+            self.process.terminate(reason="crashed (scheduled fault)")
+
+
+class DeafWrapper(Process):
+    """A process that silently drops a fraction of inbound messages.
+
+    Registered with the network *in place of* the wrapped process; the
+    wrapped process must NOT be registered itself.
+    """
+
+    def __init__(self, inner: Process, drop_fraction: float, stream: str = "deaf") -> None:
+        super().__init__(inner.sim, inner.name + ".shell")
+        # Take over the inner process's network identity:
+        self.name = inner.name
+        self.inner = inner
+        if not (0.0 <= drop_fraction <= 1.0):
+            raise ValueError("drop_fraction must be in [0, 1]")
+        self.drop_fraction = drop_fraction
+        self._rng = inner.sim.rng.stream(f"fault.{stream}.{inner.name}")
+
+    def start(self) -> None:
+        self.inner.start()
+
+    @property
+    def terminated(self) -> bool:  # type: ignore[override]
+        return self.inner.terminated
+
+    @terminated.setter
+    def terminated(self, value: bool) -> None:
+        # Process.__init__ writes this attribute; mirror it to the inner
+        # process when one exists (during __init__ it does not yet).
+        if "inner" in self.__dict__:
+            self.inner.terminated = value
+
+    def handle_message(self, message: Envelope) -> None:
+        if self._rng.random() < self.drop_fraction:
+            self.sim.trace.record(
+                self.sim.now,
+                TraceKind.DROP,
+                self.name,
+                msg_id=message.msg_id,
+                msg_kind=message.kind.value,
+            )
+            return
+        self.inner.handle_message(message)
+
+
+__all__ = ["CrashSchedule", "DeafWrapper"]

@@ -1,0 +1,85 @@
+"""Command-line entry point: run the reproduction's experiments.
+
+Usage::
+
+    python -m repro                  # all experiments, quick mode
+    python -m repro E1 E3 --full     # selected experiments, full sweeps
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS, render_table
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'Feasibility of Cross-Chain "
+            "Payment with Success Guarantees' (SPAA 2020)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full sweeps (slower, more seeds/sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write all rendered tables to FILE (markdown-friendly)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, fn in sorted(EXPERIMENTS.items()):
+            doc = (fn.__module__ or "").rsplit(".", 1)[-1]
+            print(f"{exp_id}: {doc}")
+        return 0
+
+    selected = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    sections = []
+    for exp_id in selected:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[exp_id](quick=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        table = render_table(result)
+        print(table)
+        print(f"({exp_id} completed in {elapsed:.1f}s)")
+        print()
+        sections.append(f"{table}\n({exp_id} completed in {elapsed:.1f}s)\n")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            mode = "full" if args.full else "quick"
+            handle.write(
+                f"# Experiment results ({mode} mode, seed={args.seed})\n\n"
+            )
+            for section in sections:
+                handle.write("```\n" + section + "```\n\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

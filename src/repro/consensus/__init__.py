@@ -1,0 +1,15 @@
+"""Partially synchronous consensus substrate for the notary-committee
+transaction manager (Theorem 3)."""
+
+from .committee import PaymentNotary, QuorumAssembler
+from .dls import Notary, NotaryBehavior
+from .messages import ConsensusMsg, Phase
+
+__all__ = [
+    "ConsensusMsg",
+    "Notary",
+    "NotaryBehavior",
+    "PaymentNotary",
+    "Phase",
+    "QuorumAssembler",
+]

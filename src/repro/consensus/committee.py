@@ -1,0 +1,138 @@
+"""Payment-aware notaries and quorum-certificate assembly.
+
+:class:`PaymentNotary` extends the plain consensus
+:class:`~repro.consensus.dls.Notary` with the transaction-manager input
+rule: it consumes the weak-liveness protocol's signed reports and
+requests, forms a justified preference, and feeds it into consensus.
+
+:class:`QuorumAssembler` is the participant-side helper: it collects
+signed DECIDE votes from notaries and yields a
+:class:`~repro.crypto.certificates.QuorumCertificate` once ``2f+1``
+distinct valid votes agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from ..crypto.certificates import Decision, QuorumCertificate, Vote
+from ..crypto.keys import KeyRing
+from ..crypto.signatures import SignedClaim
+from ..net.message import Envelope, MsgKind
+from .dls import Notary
+from .messages import ConsensusMsg, Phase
+
+
+class PaymentNotary(Notary):
+    """A notary that also implements the TM decision rule.
+
+    Extra parameters
+    ----------------
+    escrows:
+        Names of the escrows whose "escrowed" reports are required.
+    beneficiary:
+        Bob — the only party whose commit request counts.
+    """
+
+    def __init__(self, *args: Any, escrows: List[str], beneficiary: str, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.escrows = list(escrows)
+        self.beneficiary = beneficiary
+        self.reported: Set[str] = set()
+        self.commit_requested = False
+        self.abort_requested = False
+
+    # -- protocol inputs -----------------------------------------------------
+
+    def handle_message(self, message: Envelope) -> None:
+        if message.kind is MsgKind.CONSENSUS:
+            super().handle_message(message)
+            return
+        claim = message.payload
+        if not isinstance(claim, SignedClaim):
+            return
+        if not claim.valid(self.keyring, expected_signer=message.sender):
+            return
+        if claim.get("payment_id") != self.payment_id:
+            return
+        if message.kind is MsgKind.ESCROWED and message.sender in self.escrows:
+            self.reported.add(message.sender)
+        elif (
+            message.kind is MsgKind.COMMIT_REQUEST
+            and message.sender == self.beneficiary
+        ):
+            self.commit_requested = True
+        elif message.kind is MsgKind.ABORT_REQUEST:
+            self.abort_requested = True
+        self._update_preference()
+
+    def _update_preference(self) -> None:
+        evidence = {
+            "commit_requested": self.commit_requested,
+            "abort_requested": self.abort_requested,
+            "reported": sorted(self.reported),
+        }
+        if self.abort_requested:
+            self.abort_justified = True
+        if self.commit_requested and len(self.reported) == len(self.escrows):
+            self.commit_justified = True
+        if self.preference is None:
+            if self.abort_justified:
+                self.submit_preference(Decision.ABORT, evidence)
+            elif self.commit_justified:
+                self.submit_preference(Decision.COMMIT, evidence)
+        else:
+            self.evidence.update(evidence)
+
+
+class QuorumAssembler:
+    """Collects DECIDE votes until a valid quorum certificate forms."""
+
+    def __init__(self, keyring: KeyRing, committee: List[str], threshold: int) -> None:
+        self.keyring = keyring
+        self.committee = list(committee)
+        self.threshold = int(threshold)
+        self._votes: Dict[Decision, Dict[str, Vote]] = {
+            Decision.COMMIT: {},
+            Decision.ABORT: {},
+        }
+        self.certificate: Optional[QuorumCertificate] = None
+
+    def add_envelope(self, envelope: Envelope) -> Optional[QuorumCertificate]:
+        """Feed a consensus envelope; returns a QC when one first forms."""
+        if envelope.kind is not MsgKind.CONSENSUS:
+            return None
+        msg = envelope.payload
+        if not isinstance(msg, ConsensusMsg) or msg.phase is not Phase.DECIDE:
+            return None
+        if msg.vote is None or msg.value is None:
+            return None
+        if envelope.sender not in self.committee or msg.vote.notary != envelope.sender:
+            return None
+        if not msg.vote.valid(self.keyring):
+            return None
+        return self.add_vote(msg.vote)
+
+    def add_vote(self, vote: Vote) -> Optional[QuorumCertificate]:
+        """Feed a pre-verified vote."""
+        if self.certificate is not None:
+            return None
+        self._votes[vote.decision][vote.notary] = vote
+        votes = self._votes[vote.decision]
+        if len(votes) >= self.threshold:
+            cert = QuorumCertificate(
+                payment_id=vote.payment_id,
+                decision=vote.decision,
+                votes=tuple(votes.values()),
+            )
+            if cert.valid(self.keyring, self.committee, self.threshold):
+                self.certificate = cert
+                return cert
+        return None
+
+    def votes_for(self, decision: Decision) -> int:
+        """Distinct valid votes collected for a decision."""
+        return len(self._votes[decision])
+
+
+__all__ = ["PaymentNotary", "QuorumAssembler"]

@@ -1,0 +1,51 @@
+"""Message payloads for the notary-committee consensus.
+
+Single-shot, binary (commit/abort) consensus for partial synchrony,
+round-based with rotating leaders — the structure of Dwork–Lynch–
+Stockmeyer, with Tendermint-style lock carrying for convergence.
+
+Phases within round ``r``:
+
+``STATUS``  notary -> leader(r): my (locked_value, locked_round) or preference
+``PROPOSE`` leader(r) -> all: value for this round (+ claimed lock round)
+``ECHO``    notary -> all: endorse the proposal (unless conflicting lock)
+``DECIDE``  notary -> all (and to protocol participants): signed final
+            vote; 2f+1 matching DECIDE votes form a quorum certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from ..crypto.certificates import Decision, Vote
+
+
+class Phase(str, Enum):
+    STATUS = "status"
+    PROPOSE = "propose"
+    ECHO = "echo"
+    DECIDE = "decide"
+
+
+@dataclass(frozen=True)
+class ConsensusMsg:
+    """One consensus message (carried as a CONSENSUS envelope payload)."""
+
+    phase: Phase
+    round: int
+    payment_id: str
+    value: Optional[Decision] = None
+    locked_round: int = -1
+    #: Signed final vote (DECIDE phase only).
+    vote: Optional[Vote] = None
+    #: Justification for externally valid proposals (evidence summary).
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        val = self.value.value if self.value else "-"
+        return f"{self.phase.value}(r={self.round}, v={val})"
+
+
+__all__ = ["ConsensusMsg", "Phase"]

@@ -1,0 +1,39 @@
+"""The paper's core: problem definitions, topology, timeout calculus,
+sessions, and outcomes."""
+
+from .outcomes import AssetDelta, BalanceSnapshot, PaymentOutcome, snapshot_balances
+from .params import TimeoutParams, TimingAssumptions, compute_params, h_bound
+from .problem import (
+    ALL_SPECS,
+    EVENTUALLY_TERMINATING_PAYMENT,
+    PROPERTY_STATEMENTS,
+    ProblemSpec,
+    PropertyId,
+    SynchronyAssumption,
+    TIME_BOUNDED_PAYMENT,
+    WEAK_LIVENESS_PAYMENT,
+)
+from .session import PaymentEnv, PaymentSession
+from .topology import PaymentTopology
+
+__all__ = [
+    "ALL_SPECS",
+    "AssetDelta",
+    "BalanceSnapshot",
+    "EVENTUALLY_TERMINATING_PAYMENT",
+    "PROPERTY_STATEMENTS",
+    "PaymentEnv",
+    "PaymentOutcome",
+    "PaymentSession",
+    "PaymentTopology",
+    "ProblemSpec",
+    "PropertyId",
+    "SynchronyAssumption",
+    "TIME_BOUNDED_PAYMENT",
+    "TimeoutParams",
+    "TimingAssumptions",
+    "WEAK_LIVENESS_PAYMENT",
+    "compute_params",
+    "h_bound",
+    "snapshot_balances",
+]

@@ -1,0 +1,230 @@
+"""Outcome records: everything a finished payment run exposes.
+
+A :class:`PaymentOutcome` is the single artefact property checkers and
+experiment tables consume.  It is computed from the simulation trace
+plus the final ledger state, relying on the **trace discipline** shared
+by all protocols in this library:
+
+* participants record ``CERT_ISSUED`` when they create a certificate
+  (Bob's χ; a TM's commit/abort) and ``CERT_RECEIVED`` only after
+  *verifying* a received certificate;
+* ledgers record every transfer and escrow transition;
+* processes record ``TERMINATE`` exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..ledger.asset import Amount
+from ..ledger.ledger import Ledger
+from ..sim.trace import TraceKind, TraceRecorder
+from .topology import PaymentTopology
+
+#: Per-asset integer deltas, e.g. ``{"X": +3}``; zero entries omitted.
+AssetDelta = Dict[str, int]
+
+#: Balances snapshot: escrow -> customer -> asset -> units.
+BalanceSnapshot = Dict[str, Dict[str, Dict[str, int]]]
+
+
+def snapshot_balances(
+    ledgers: Dict[str, Ledger], topology: PaymentTopology
+) -> BalanceSnapshot:
+    """Capture every customer balance at every escrow."""
+    snap: BalanceSnapshot = {}
+    assets = sorted({amt.asset for amt in topology.amounts})
+    for i in range(topology.n_escrows):
+        escrow = topology.escrow(i)
+        ledger = ledgers[escrow]
+        snap[escrow] = {}
+        for customer in (
+            topology.upstream_customer(i),
+            topology.downstream_customer(i),
+        ):
+            if not ledger.has_account(customer):
+                continue
+            balances = {
+                asset: ledger.balance(customer, asset).units for asset in assets
+            }
+            snap[escrow][customer] = {a: u for a, u in balances.items() if u != 0}
+    return snap
+
+
+def _totals(snapshot: BalanceSnapshot, customer: str) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for accounts in snapshot.values():
+        for asset, units in accounts.get(customer, {}).items():
+            totals[asset] = totals.get(asset, 0) + units
+    return totals
+
+
+@dataclass
+class PaymentOutcome:
+    """The observable result of one payment session."""
+
+    payment_id: str
+    protocol: str
+    topology: PaymentTopology
+    honest: Dict[str, bool]
+    initial_balances: BalanceSnapshot
+    final_balances: BalanceSnapshot
+    ledger_audits: Dict[str, bool]
+    termination_times: Dict[str, Optional[float]]
+    certificates_issued: List[Dict[str, Any]]
+    certificates_received: Dict[str, Set[str]]
+    end_time: float
+    messages_sent: int
+    messages_delivered: int
+    events_executed: int
+    trace: TraceRecorder
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def collect(
+        cls,
+        *,
+        payment_id: str,
+        protocol: str,
+        topology: PaymentTopology,
+        honest: Dict[str, bool],
+        initial_balances: BalanceSnapshot,
+        ledgers: Dict[str, Ledger],
+        trace: TraceRecorder,
+        end_time: float,
+        messages_sent: int,
+        messages_delivered: int,
+        events_executed: int,
+    ) -> "PaymentOutcome":
+        """Assemble an outcome from a finished session's parts."""
+        issued = [
+            {"actor": e.actor, "cert": e.get("cert"), "time": e.time, **e.data}
+            for e in trace.events(kind=TraceKind.CERT_ISSUED)
+        ]
+        received: Dict[str, Set[str]] = {}
+        for e in trace.events(kind=TraceKind.CERT_RECEIVED):
+            received.setdefault(e.actor, set()).add(str(e.get("cert")))
+        termination = {
+            name: trace.termination_time(name) for name in topology.participants()
+        }
+        return cls(
+            payment_id=payment_id,
+            protocol=protocol,
+            topology=topology,
+            honest=dict(honest),
+            initial_balances=initial_balances,
+            final_balances=snapshot_balances(ledgers, topology),
+            ledger_audits={name: ledger.audit_ok() for name, ledger in ledgers.items()},
+            termination_times=termination,
+            certificates_issued=issued,
+            certificates_received=received,
+            end_time=end_time,
+            messages_sent=messages_sent,
+            messages_delivered=messages_delivered,
+            events_executed=events_executed,
+            trace=trace,
+        )
+
+    # -- positions ---------------------------------------------------------------
+
+    def position_delta(self, customer: str) -> AssetDelta:
+        """Net balance change of ``customer`` summed over all escrows."""
+        before = _totals(self.initial_balances, customer)
+        after = _totals(self.final_balances, customer)
+        delta: AssetDelta = {}
+        for asset in set(before) | set(after):
+            diff = after.get(asset, 0) - before.get(asset, 0)
+            if diff != 0:
+                delta[asset] = diff
+        return delta
+
+    def expected_success_delta(self, customer_index: int) -> AssetDelta:
+        """The position change a completed payment gives customer ``c_i``.
+
+        Alice pays ``amounts[0]``; Bob gains ``amounts[n-1]``; connector
+        ``c_i`` pays ``amounts[i]`` and gains ``amounts[i-1]`` (her
+        commission being the difference, possibly across assets).
+        """
+        topo = self.topology
+        delta: AssetDelta = {}
+        if customer_index >= 1:  # receives from upstream escrow e_{i-1}
+            amt = topo.amount_at(customer_index - 1)
+            delta[amt.asset] = delta.get(amt.asset, 0) + amt.units
+        if customer_index <= topo.n_escrows - 1:  # pays into escrow e_i
+            amt = topo.amount_at(customer_index)
+            delta[amt.asset] = delta.get(amt.asset, 0) - amt.units
+        return {a: u for a, u in delta.items() if u != 0}
+
+    def refunded(self, customer: str) -> bool:
+        """Whether the customer ended exactly where she started."""
+        return self.position_delta(customer) == {}
+
+    def in_success_position(self, customer: str) -> bool:
+        """Whether the customer holds the completed-payment position."""
+        index = self.topology.customer_index(customer)
+        return self.position_delta(customer) == self.expected_success_delta(index)
+
+    @property
+    def bob_paid(self) -> bool:
+        """Did Bob receive his amount?"""
+        return self.in_success_position(self.topology.bob)
+
+    @property
+    def alice_paid_out(self) -> bool:
+        """Did Alice's money leave her account for good?"""
+        return self.in_success_position(self.topology.alice)
+
+    # -- certificates -----------------------------------------------------------------
+
+    def chi_issued(self) -> bool:
+        """Did Bob sign χ at any point?"""
+        bob = self.topology.bob
+        return any(
+            c["cert"] == "chi" and c["actor"] == bob for c in self.certificates_issued
+        )
+
+    def decision_kinds_issued(self) -> Set[str]:
+        """Decision certificate kinds ('commit'/'abort') observed as
+        issued *or* accepted as valid by any participant."""
+        kinds = {
+            str(c["cert"])
+            for c in self.certificates_issued
+            if c["cert"] in ("commit", "abort")
+        }
+        for certs in self.certificates_received.values():
+            kinds |= certs & {"commit", "abort"}
+        return kinds
+
+    def holds_certificate(self, customer: str, kind: str) -> bool:
+        """Whether ``customer`` verified and recorded a certificate."""
+        return kind in self.certificates_received.get(customer, set())
+
+    # -- participants ----------------------------------------------------------------
+
+    def is_honest(self, name: str) -> bool:
+        return self.honest.get(name, True)
+
+    def terminated(self, name: str) -> bool:
+        return self.termination_times.get(name) is not None
+
+    def all_participants_terminated(self) -> bool:
+        return all(
+            self.terminated(name) for name in self.topology.participants()
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact dict for experiment tables."""
+        return {
+            "protocol": self.protocol,
+            "bob_paid": self.bob_paid,
+            "chi_issued": self.chi_issued(),
+            "decisions": sorted(self.decision_kinds_issued()),
+            "all_terminated": self.all_participants_terminated(),
+            "end_time": self.end_time,
+            "messages": self.messages_sent,
+        }
+
+
+__all__ = ["AssetDelta", "BalanceSnapshot", "PaymentOutcome", "snapshot_balances"]

@@ -1,0 +1,172 @@
+"""Timeout-parameter calculus for the time-bounded protocol.
+
+The paper presents the protocol of Theorem 1 with windows ``a_i`` (how
+long escrow ``e_i`` waits for the certificate after issuing ``P(a_i)``)
+and ``d_i`` (the bound in the guarantee ``G(d_i)``) as design
+parameters, with "the precise values calculated in [the companion
+paper]".  This module reconstructs that calculus from first principles
+and exposes both the **drift-tuned** (sound) and **naive** (unsound —
+what happens if you ignore clock drift, as the protocols of Thomas &
+Schwartz and Herlihy et al. do) variants.
+
+Derivation
+----------
+Let Δ bound message delay, ε bound grey-state processing, ρ bound clock
+drift rate, and let all windows be measured on the owning escrow's
+local clock.  Define ``H_i`` = the worst-case *real-time* gap between
+escrow ``e_i`` issuing ``P(a_i)`` and the certificate χ arriving back
+at ``e_i``, when every participant abides:
+
+* ``H_{n-1} = 2Δ + ε``  (P to Bob, Bob computes, χ back), and
+* ``H_i = H_{i+1} + 4Δ + 4ε``  (P to c_{i+1}, deposit to e_{i+1},
+  e_{i+1} issues its own promise, χ returns via c_{i+1}), giving
+
+  ``H_i = 2Δ + ε + (n-1-i)·(4Δ + 4ε)``.
+
+A local window ``a_i`` elapses in real time at least ``a_i / (1+ρ)``
+(worst case: the escrow's clock runs maximally fast).  Soundness needs
+the real window to cover ``H_i``::
+
+    a_i = (1+ρ) · H_i + margin          (drift-tuned)
+    a_i = H_i                            (naive — breaks under drift)
+
+``d_i`` must cover, on ``e_i``'s own clock, its processing after the
+money arrives (≤ ε real ≤ (1+ρ)ε local), the window ``a_i`` (already
+local), and the processing before the refund/certificate send::
+
+    d_i = a_i + 2·(1+ρ)·ε + margin      (drift-tuned)
+    d_i = a_i + 2ε                       (naive)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class TimingAssumptions:
+    """The synchrony parameters (Δ, ε, ρ) the calculus relies on."""
+
+    delta: float  # message-delay bound Δ, known under synchrony
+    epsilon: float  # processing bound ε per grey state
+    rho: float = 0.0  # clock-drift bound
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ParameterError(f"delta must be > 0, got {self.delta!r}")
+        if self.epsilon < 0:
+            raise ParameterError(f"epsilon must be >= 0, got {self.epsilon!r}")
+        if not (0.0 <= self.rho < 1.0):
+            raise ParameterError(f"rho must be in [0, 1), got {self.rho!r}")
+
+
+@dataclass(frozen=True)
+class TimeoutParams:
+    """Computed windows for one protocol instance."""
+
+    n_escrows: int
+    assumptions: TimingAssumptions
+    a: Tuple[float, ...]  # certificate windows a_0 … a_{n-1}
+    d: Tuple[float, ...]  # guarantee bounds d_0 … d_{n-1}
+    drift_tuned: bool
+    margin: float
+
+    def a_i(self, i: int) -> float:
+        return self.a[i]
+
+    def d_i(self, i: int) -> float:
+        return self.d[i]
+
+    # -- derived bounds ----------------------------------------------------
+
+    def certificate_return_bound(self, i: int) -> float:
+        """``H_i``: real-time bound on χ returning to escrow ``e_i``."""
+        return h_bound(self.n_escrows, i, self.assumptions)
+
+    def deposit_time_bound(self, i: int) -> float:
+        """Real-time bound for the money reaching escrow ``e_i``.
+
+        ``D_i = (i+1)·(2Δ + 2ε)``: each forward hop costs at most one
+        promise/guarantee delivery + customer processing + money
+        delivery + escrow processing.
+        """
+        t = self.assumptions
+        return (i + 1) * (2 * t.delta + 2 * t.epsilon)
+
+    def global_termination_bound(self) -> float:
+        """A-priori real-time bound by which *every* honest participant
+        has terminated, assuming all escrows abide (property **T**).
+
+        Conservative composition: latest deposit, plus the slowest
+        escrow waiting out its full window on a maximally *slow* clock
+        (real duration ``a_0/(1-ρ)`` — a_0 is the largest window), plus
+        the refund/certificate cascade back down the path.
+        """
+        t = self.assumptions
+        slowest_window = self.a[0] / (1.0 - t.rho) if self.a else 0.0
+        cascade = (self.n_escrows + 1) * (2 * t.delta + 2 * t.epsilon)
+        return (
+            self.deposit_time_bound(self.n_escrows - 1)
+            + t.epsilon
+            + slowest_window
+            + cascade
+        )
+
+
+def h_bound(n_escrows: int, i: int, t: TimingAssumptions) -> float:
+    """``H_i`` — see module docstring."""
+    if not (0 <= i < n_escrows):
+        raise ParameterError(f"escrow index {i} out of range for n={n_escrows}")
+    hops_remaining = n_escrows - 1 - i
+    return 2 * t.delta + t.epsilon + hops_remaining * (4 * t.delta + 4 * t.epsilon)
+
+
+def compute_params(
+    n_escrows: int,
+    assumptions: TimingAssumptions,
+    drift_tuned: bool = True,
+    margin: float = 0.0,
+) -> TimeoutParams:
+    """Compute the windows ``a_i`` and ``d_i`` for all escrows.
+
+    Parameters
+    ----------
+    n_escrows:
+        Path length (number of escrows).
+    assumptions:
+        The synchrony bounds (Δ, ε, ρ).
+    drift_tuned:
+        ``True`` applies the (1+ρ) inflation factors (the paper's
+        fine-tuning); ``False`` reproduces the naive calculus that
+        experiment E2 shows to be unsound under drift.
+    margin:
+        Extra slack added to every window (robustness headroom).
+    """
+    if n_escrows < 1:
+        raise ParameterError("need at least one escrow")
+    if margin < 0:
+        raise ParameterError(f"margin must be >= 0, got {margin!r}")
+    t = assumptions
+    inflation = (1.0 + t.rho) if drift_tuned else 1.0
+    a_list: List[float] = []
+    d_list: List[float] = []
+    for i in range(n_escrows):
+        h = h_bound(n_escrows, i, t)
+        a = inflation * h + margin
+        d = a + 2.0 * inflation * t.epsilon + margin
+        a_list.append(a)
+        d_list.append(d)
+    return TimeoutParams(
+        n_escrows=n_escrows,
+        assumptions=t,
+        a=tuple(a_list),
+        d=tuple(d_list),
+        drift_tuned=drift_tuned,
+        margin=margin,
+    )
+
+
+__all__ = ["TimeoutParams", "TimingAssumptions", "compute_params", "h_bound"]

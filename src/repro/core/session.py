@@ -1,0 +1,237 @@
+"""The session facade: build, run, and collect one cross-chain payment.
+
+:class:`PaymentSession` is the library's main entry point.  It
+
+1. constructs the world — simulator, network (with a timing model and
+   optional adversary), key ring, one ledger per escrow, funded
+   accounts, and per-participant drifting clocks;
+2. asks a protocol (resolved from the registry by name, or given as a
+   factory) to build its participants;
+3. runs the simulation until every protocol participant terminated or a
+   horizon is hit;
+4. returns a :class:`~repro.core.outcomes.PaymentOutcome`.
+
+Example
+-------
+>>> from repro.core.session import PaymentSession
+>>> from repro.core.topology import PaymentTopology
+>>> from repro.net.timing import Synchronous
+>>> topo = PaymentTopology.linear(3)
+>>> session = PaymentSession(topo, "timebounded", Synchronous(delta=1.0))
+>>> outcome = session.run()
+>>> outcome.bob_paid
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..clocks import DriftingClock, PERFECT_CLOCK, random_clock
+from ..crypto.keys import Identity, KeyRing
+from ..errors import ProtocolError
+from ..ledger.ledger import Ledger
+from ..net.adversary import Adversary
+from ..net.network import Network
+from ..net.timing import TimingModel
+from ..sim.kernel import Simulator
+from .outcomes import BalanceSnapshot, PaymentOutcome, snapshot_balances
+from .topology import PaymentTopology
+
+
+@dataclass
+class PaymentEnv:
+    """Everything a protocol needs to build its participants."""
+
+    sim: Simulator
+    network: Network
+    keyring: KeyRing
+    topology: PaymentTopology
+    ledgers: Dict[str, Ledger]
+    clocks: Dict[str, DriftingClock]
+    identities: Dict[str, Identity]
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def clock_of(self, name: str) -> DriftingClock:
+        """Clock for a participant (perfect if unassigned)."""
+        return self.clocks.get(name, PERFECT_CLOCK)
+
+    def identity_of(self, name: str) -> Identity:
+        """Signing identity for a participant (created lazily)."""
+        identity = self.identities.get(name)
+        if identity is None:
+            identity = self.keyring.create(name)
+            self.identities[name] = identity
+        return identity
+
+    def is_byzantine(self, name: str) -> bool:
+        """Whether the participant was marked Byzantine for this run."""
+        return name in self.config.get("byzantine", {})
+
+    def byzantine_behavior(self, name: str) -> Any:
+        """The behaviour spec assigned to a Byzantine participant."""
+        return self.config.get("byzantine", {}).get(name)
+
+
+ProtocolFactory = Callable[[PaymentEnv], "Any"]
+
+
+class PaymentSession:
+    """One configured payment run.
+
+    Parameters
+    ----------
+    topology:
+        The path of escrows/customers and per-hop amounts.
+    protocol:
+        Registry name (``"timebounded"``, ``"weak"``, ``"htlc"``,
+        ``"certified"``) or a factory ``env -> protocol``.
+    timing:
+        The network timing model (synchrony assumption).
+    adversary:
+        Optional message-scheduling adversary.
+    seed:
+        Master seed (drives clocks, delays, processing times).
+    rho / max_skew:
+        Clock-drift and skew bounds; per-participant clocks are sampled
+        within the bounds unless ``clocks`` pins them explicitly.
+    clocks:
+        Explicit clock assignment overriding sampling (partial maps are
+        fine; missing participants get sampled/perfect clocks).
+    byzantine:
+        Map participant name -> behaviour spec (interpreted by the
+        protocol together with :mod:`repro.byzantine`).
+    horizon:
+        Global-time backstop; ``None`` uses ``default_horizon``.
+    protocol_options:
+        Extra keyword configuration passed to the protocol via
+        ``env.config["options"]`` (timeout calculus, TM choice,
+        patience values, ...).
+    """
+
+    DEFAULT_HORIZON = 1_000_000.0
+
+    def __init__(
+        self,
+        topology: PaymentTopology,
+        protocol: Union[str, ProtocolFactory],
+        timing: TimingModel,
+        adversary: Optional[Adversary] = None,
+        seed: int = 0,
+        rho: float = 0.0,
+        max_skew: float = 0.0,
+        clocks: Optional[Dict[str, DriftingClock]] = None,
+        byzantine: Optional[Dict[str, Any]] = None,
+        horizon: Optional[float] = None,
+        protocol_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.topology = topology
+        self.protocol_ref = protocol
+        self.timing = timing
+        self.adversary = adversary
+        self.seed = seed
+        self.rho = rho
+        self.max_skew = max_skew
+        self.clock_overrides = dict(clocks or {})
+        self.byzantine = dict(byzantine or {})
+        self.horizon = horizon if horizon is not None else self.DEFAULT_HORIZON
+        self.protocol_options = dict(protocol_options or {})
+        # Populated by run():
+        self.env: Optional[PaymentEnv] = None
+        self.protocol_instance: Any = None
+        self.initial_balances: Optional[BalanceSnapshot] = None
+
+    # -- world construction -------------------------------------------------
+
+    def _build_env(self) -> PaymentEnv:
+        sim = Simulator(seed=self.seed)
+        network = Network(sim, self.timing, self.adversary)
+        keyring = KeyRing(domain=self.topology.payment_id)
+        ledgers: Dict[str, Ledger] = {}
+        for i in range(self.topology.n_escrows):
+            escrow = self.topology.escrow(i)
+            ledger = Ledger(name=escrow, sim=sim)
+            ledger.open_account(self.topology.upstream_customer(i))
+            ledger.open_account(self.topology.downstream_customer(i))
+            ledgers[escrow] = ledger
+        for escrow, grants in self.topology.funding_plan().items():
+            for customer, amt in grants:
+                ledgers[escrow].mint(customer, amt)
+        clocks: Dict[str, DriftingClock] = {}
+        for name in self.topology.participants():
+            if name in self.clock_overrides:
+                clocks[name] = self.clock_overrides[name]
+            elif self.rho > 0.0 or self.max_skew > 0.0:
+                clocks[name] = random_clock(
+                    sim.rng.stream(f"clock.{name}"), self.rho, self.max_skew
+                )
+            else:
+                clocks[name] = PERFECT_CLOCK
+        identities = {
+            name: keyring.create(name) for name in self.topology.participants()
+        }
+        config: Dict[str, Any] = {
+            "byzantine": self.byzantine,
+            "options": self.protocol_options,
+            "rho": self.rho,
+            "seed": self.seed,
+        }
+        return PaymentEnv(
+            sim=sim,
+            network=network,
+            keyring=keyring,
+            topology=self.topology,
+            ledgers=ledgers,
+            clocks=clocks,
+            identities=identities,
+            config=config,
+        )
+
+    def _resolve_protocol(self, env: PaymentEnv) -> Any:
+        if callable(self.protocol_ref):
+            return self.protocol_ref(env)
+        from ..protocols.base import create_protocol  # local import: no cycle
+
+        return create_protocol(str(self.protocol_ref), env)
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self) -> PaymentOutcome:
+        """Execute the payment and return its outcome."""
+        env = self._build_env()
+        self.env = env
+        protocol = self._resolve_protocol(env)
+        self.protocol_instance = protocol
+        protocol.build()
+        self.initial_balances = snapshot_balances(env.ledgers, self.topology)
+        protocol.start()
+
+        participants = list(protocol.processes.values())
+        if not participants:
+            raise ProtocolError(f"protocol {protocol.name!r} built no participants")
+        env.sim.add_stop_condition(
+            lambda sim: all(p.terminated for p in participants)
+        )
+        env.sim.run(until=self.horizon)
+
+        honest = {
+            name: name not in self.byzantine
+            for name in self.topology.participants()
+        }
+        return PaymentOutcome.collect(
+            payment_id=self.topology.payment_id,
+            protocol=protocol.name,
+            topology=self.topology,
+            honest=honest,
+            initial_balances=self.initial_balances,
+            ledgers=env.ledgers,
+            trace=env.sim.trace,
+            end_time=env.sim.now,
+            messages_sent=env.network.stats.sent,
+            messages_delivered=env.network.stats.delivered,
+            events_executed=env.sim.executed_events,
+        )
+
+
+__all__ = ["PaymentEnv", "PaymentSession"]

@@ -1,0 +1,174 @@
+"""The payment topology of Figure 1.
+
+``n`` escrows and ``n+1`` customers arranged on a path::
+
+    c0 ── e0 ── c1 ── e1 ── ... ── c(n-1) ── e(n-1) ── cn
+  Alice      Chloe1                Chloe(n-1)         Bob
+
+Customer ``c_i`` and ``c_{i+1}`` hold accounts at escrow ``e_i`` and
+trust it; no other trust relations exist.  Value moves only between
+customers of the same escrow.  Each hop ``i`` carries its own amount
+(possibly in its own asset): connectors charge a commission, so
+``amount[0] ≥ amount[1] ≥ … ≥ amount[n-1]`` in typical scenarios —
+though the library imposes no ordering, since pricing is orthogonal
+(paper §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ProtocolError
+from ..ledger.asset import Amount
+
+
+@dataclass(frozen=True)
+class PaymentTopology:
+    """Names, accounts, and per-hop amounts for one payment."""
+
+    n_escrows: int
+    amounts: Tuple[Amount, ...]
+    payment_id: str = "payment"
+
+    def __post_init__(self) -> None:
+        if self.n_escrows < 1:
+            raise ProtocolError("need at least one escrow")
+        if len(self.amounts) != self.n_escrows:
+            raise ProtocolError(
+                f"need one amount per escrow: {self.n_escrows} escrows, "
+                f"{len(self.amounts)} amounts"
+            )
+        for amt in self.amounts:
+            if not amt.is_positive:
+                raise ProtocolError(f"hop amounts must be positive, got {amt!r}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def linear(
+        cls,
+        n_escrows: int,
+        base_units: int = 100,
+        commission_units: int = 1,
+        asset: str = "X",
+        per_hop_assets: bool = False,
+        payment_id: str = "payment",
+    ) -> "PaymentTopology":
+        """A standard chain: Bob receives ``base_units``; each upstream
+        hop adds ``commission_units`` so every connector earns her fee.
+
+        With ``per_hop_assets=True`` each escrow uses its own asset code
+        (``X0``, ``X1``, ...), modelling payments across different
+        currencies or blockchains.
+        """
+        amounts = []
+        for i in range(n_escrows):
+            units = base_units + commission_units * (n_escrows - 1 - i)
+            code = f"{asset}{i}" if per_hop_assets else asset
+            amounts.append(Amount(code, units))
+        return cls(
+            n_escrows=n_escrows, amounts=tuple(amounts), payment_id=payment_id
+        )
+
+    # -- names -----------------------------------------------------------------
+
+    @property
+    def n_customers(self) -> int:
+        return self.n_escrows + 1
+
+    def customer(self, i: int) -> str:
+        """Name of customer ``c_i`` (0 = Alice, n = Bob)."""
+        if not (0 <= i <= self.n_escrows):
+            raise ProtocolError(f"customer index {i} out of range")
+        return f"c{i}"
+
+    def escrow(self, i: int) -> str:
+        """Name of escrow ``e_i``."""
+        if not (0 <= i < self.n_escrows):
+            raise ProtocolError(f"escrow index {i} out of range")
+        return f"e{i}"
+
+    @property
+    def alice(self) -> str:
+        return self.customer(0)
+
+    @property
+    def bob(self) -> str:
+        return self.customer(self.n_escrows)
+
+    def connectors(self) -> List[str]:
+        """Names of the intermediaries Chloe_1 … Chloe_{n-1}."""
+        return [self.customer(i) for i in range(1, self.n_escrows)]
+
+    def customers(self) -> List[str]:
+        return [self.customer(i) for i in range(self.n_customers)]
+
+    def escrows(self) -> List[str]:
+        return [self.escrow(i) for i in range(self.n_escrows)]
+
+    def participants(self) -> List[str]:
+        """All 2n+1 participant names."""
+        return self.customers() + self.escrows()
+
+    # -- relations ----------------------------------------------------------------
+
+    def upstream_customer(self, escrow_index: int) -> str:
+        """``c_i`` for escrow ``e_i`` — where the money comes from."""
+        return self.customer(escrow_index)
+
+    def downstream_customer(self, escrow_index: int) -> str:
+        """``c_{i+1}`` for escrow ``e_i`` — where the money goes."""
+        return self.customer(escrow_index + 1)
+
+    def escrows_of_customer(self, customer_index: int) -> List[str]:
+        """The escrow(s) customer ``c_i`` holds accounts at and trusts."""
+        out = []
+        if customer_index >= 1:
+            out.append(self.escrow(customer_index - 1))  # upstream escrow
+        if customer_index <= self.n_escrows - 1:
+            out.append(self.escrow(customer_index))  # downstream escrow
+        return out
+
+    def customer_index(self, name: str) -> int:
+        """Inverse of :meth:`customer`."""
+        for i in range(self.n_customers):
+            if self.customer(i) == name:
+                return i
+        raise ProtocolError(f"not a customer name: {name!r}")
+
+    def escrow_index(self, name: str) -> int:
+        """Inverse of :meth:`escrow`."""
+        for i in range(self.n_escrows):
+            if self.escrow(i) == name:
+                return i
+        raise ProtocolError(f"not an escrow name: {name!r}")
+
+    def amount_at(self, escrow_index: int) -> Amount:
+        """The value moved through escrow ``e_i``."""
+        return self.amounts[escrow_index]
+
+    # -- funding plan -----------------------------------------------------------------
+
+    def funding_plan(self) -> Dict[str, List[Tuple[str, Amount]]]:
+        """Initial balances: escrow name -> [(customer, amount)].
+
+        Customer ``c_i`` needs ``amounts[i]`` at escrow ``e_i`` (the
+        value she forwards); Bob needs nothing.  Accounts for both
+        customers of each escrow are opened regardless.
+        """
+        plan: Dict[str, List[Tuple[str, Amount]]] = {}
+        for i in range(self.n_escrows):
+            plan[self.escrow(i)] = [(self.customer(i), self.amounts[i])]
+        return plan
+
+    def describe(self) -> str:
+        """One-line picture of the path (Figure 1)."""
+        parts = [self.alice]
+        for i in range(self.n_escrows):
+            parts.append(f"--[{self.escrow(i)}: {self.amounts[i]!r}]--")
+            parts.append(self.customer(i + 1))
+        return " ".join(parts)
+
+
+__all__ = ["PaymentTopology"]

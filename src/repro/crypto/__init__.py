@@ -1,0 +1,34 @@
+"""Simulated authenticated cryptography: identities, signatures,
+certificates, escrow promises, and hash-locks."""
+
+from .certificates import (
+    Decision,
+    DecisionCertificate,
+    PaymentCertificate,
+    QuorumCertificate,
+    Vote,
+)
+from .hashlock import HashLock, Preimage, new_secret
+from .keys import Identity, KeyRing
+from .promises import Guarantee, PaymentPromise
+from .signatures import Signature, canonical_encode, require_valid, sign, verify
+
+__all__ = [
+    "Decision",
+    "DecisionCertificate",
+    "Guarantee",
+    "HashLock",
+    "Identity",
+    "KeyRing",
+    "PaymentCertificate",
+    "PaymentPromise",
+    "Preimage",
+    "QuorumCertificate",
+    "Signature",
+    "Vote",
+    "canonical_encode",
+    "new_secret",
+    "require_valid",
+    "sign",
+    "verify",
+]

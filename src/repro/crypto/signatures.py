@@ -1,0 +1,161 @@
+"""Signing and verification over canonical payload encodings.
+
+A :class:`Signature` binds an identity name to a *canonical encoding* of
+a payload.  Canonicalisation walks plain Python structures (dict, list,
+tuple, str, int, float, bool, None, bytes) and any object exposing
+``signing_fields() -> dict``; the encoding is stable across runs and
+platforms so signatures are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import CryptoError, SignatureError
+from .keys import Identity, KeyRing
+
+
+def canonical_encode(payload: Any) -> bytes:
+    """Deterministically encode ``payload`` for signing.
+
+    Raises
+    ------
+    CryptoError
+        If the payload contains an unsupported type.
+    """
+    out = bytearray()
+    _encode_into(payload, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N;"
+    elif isinstance(value, bool):
+        out += b"B1;" if value else b"B0;"
+    elif isinstance(value, int):
+        out += f"I{value};".encode()
+    elif isinstance(value, float):
+        out += f"F{value.hex()};".encode()
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += f"S{len(raw)}:".encode()
+        out += raw
+        out += b";"
+    elif isinstance(value, bytes):
+        out += f"Y{len(value)}:".encode()
+        out += value
+        out += b";"
+    elif isinstance(value, (list, tuple)):
+        out += f"L{len(value)}:".encode()
+        for item in value:
+            _encode_into(item, out)
+        out += b";"
+    elif isinstance(value, dict):
+        keys = sorted(value, key=str)
+        out += f"D{len(keys)}:".encode()
+        for key in keys:
+            _encode_into(str(key), out)
+            _encode_into(value[key], out)
+        out += b";"
+    elif hasattr(value, "signing_fields"):
+        fields = value.signing_fields()
+        out += f"O{type(value).__name__}:".encode()
+        _encode_into(fields, out)
+        out += b";"
+    else:
+        raise CryptoError(f"cannot canonically encode {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An HMAC tag binding ``signer`` to a payload digest."""
+
+    signer: str
+    tag: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.tag) != 32:
+            raise CryptoError("signature tag must be 32 bytes")
+
+
+def sign(identity: Identity, payload: Any) -> Signature:
+    """Sign ``payload`` as ``identity``.
+
+    Signing requires the identity object (and thus its secret) — this is
+    the structural unforgeability guarantee.
+    """
+    encoded = canonical_encode(payload)
+    tag = hmac.new(identity.secret, encoded, hashlib.sha256).digest()
+    return Signature(signer=identity.name, tag=tag)
+
+
+def verify(keyring: KeyRing, signature: Signature, payload: Any) -> bool:
+    """Check ``signature`` over ``payload`` against the registry.
+
+    Returns ``False`` for unknown signers or non-matching tags (never
+    raises for a *failed* check; raises only for malformed inputs).
+    """
+    if not keyring.knows(signature.signer):
+        return False
+    encoded = canonical_encode(payload)
+    expected = hmac.new(
+        keyring.secret_of(signature.signer), encoded, hashlib.sha256
+    ).digest()
+    return hmac.compare_digest(expected, signature.tag)
+
+
+def require_valid(keyring: KeyRing, signature: Signature, payload: Any) -> None:
+    """Verify or raise :class:`SignatureError`."""
+    if not verify(keyring, signature, payload):
+        raise SignatureError(
+            f"invalid signature claimed by {signature.signer!r}"
+        )
+
+
+@dataclass(frozen=True)
+class SignedClaim:
+    """A generic signed statement (dict body + signature).
+
+    Used for the weak-liveness protocol's control plane: escrows sign
+    "escrowed" reports, Bob signs his commit request, customers sign
+    abort requests — so notaries can verify the provenance of protocol
+    inputs (external validity of the consensus).
+    """
+
+    body: "dict"
+    signature: Signature
+
+    @classmethod
+    def make(cls, identity: Identity, **body: Any) -> "SignedClaim":
+        """Sign a claim; the signer name is embedded into the body."""
+        full = {**body, "signer": identity.name}
+        return cls(body=full, signature=sign(identity, full))
+
+    @property
+    def signer(self) -> str:
+        return str(self.body.get("signer", ""))
+
+    def valid(self, keyring: KeyRing, expected_signer: Optional[str] = None) -> bool:
+        """Verify the claim (optionally pinning the signer)."""
+        if self.signature.signer != self.signer:
+            return False
+        if expected_signer is not None and self.signer != expected_signer:
+            return False
+        return verify(keyring, self.signature, self.body)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.body.get(key, default)
+
+
+__all__ = [
+    "Signature",
+    "SignedClaim",
+    "canonical_encode",
+    "require_valid",
+    "sign",
+    "verify",
+]

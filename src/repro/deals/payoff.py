@@ -1,0 +1,56 @@
+"""Acceptable payoffs — the Safety notion of cross-chain deals.
+
+From the paper's Section 5 (after [3]): a payoff is *acceptable* to a
+party ``i`` if she either receives all ``M[j][i]`` while parting with
+all ``M[i][j]`` (the DEAL position), or loses nothing at all (the
+NOTHING position); any outcome where she loses less and/or gains more
+than an acceptable outcome is also acceptable.
+
+We compare per-asset integer deltas componentwise: ``delta`` dominates
+``base`` iff ``delta[a] >= base[a]`` for every asset ``a``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .matrix import DealMatrix
+
+AssetDelta = Mapping[str, int]
+
+
+def dominates(delta: AssetDelta, base: AssetDelta) -> bool:
+    """Componentwise ``delta >= base`` over the union of assets."""
+    assets = set(delta) | set(base)
+    return all(delta.get(a, 0) >= base.get(a, 0) for a in assets)
+
+
+def deal_position(matrix: DealMatrix, party: int) -> Dict[str, int]:
+    """The full-completion position of ``party``."""
+    return matrix.party_delta_on_completion(party)
+
+
+def acceptable(matrix: DealMatrix, party: int, delta: AssetDelta) -> bool:
+    """Whether ``delta`` is an acceptable payoff for ``party``.
+
+    Acceptable = dominates the DEAL position, or dominates the NOTHING
+    position (all-zero).
+    """
+    return dominates(delta, deal_position(matrix, party)) or dominates(delta, {})
+
+
+def classify(matrix: DealMatrix, party: int, delta: AssetDelta) -> str:
+    """Human-readable payoff class: ``deal`` / ``nothing`` / ``better``
+    / ``unacceptable``."""
+    deal = deal_position(matrix, party)
+    clean = {a: u for a, u in delta.items() if u != 0}
+    if clean == deal:
+        return "deal"
+    if not clean:
+        return "nothing"
+    if acceptable(matrix, party, delta):
+        return "better"
+    return "unacceptable"
+
+
+__all__ = ["acceptable", "classify", "deal_position", "dominates"]

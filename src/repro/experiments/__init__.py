@@ -1,0 +1,40 @@
+"""The reproduction's evaluation: one module per experiment (table or
+figure), plus the harness and renderer."""
+
+from typing import Callable, Dict
+
+from . import (
+    e1_synchrony,
+    e2_drift,
+    e3_impossibility,
+    e4_weak,
+    e5_notaries,
+    e6_deals,
+    e7_scalability,
+    e8_exploration,
+    e9_margin,
+)
+from .harness import ExperimentResult, fraction, mean, seeds_for
+from .tables import render_table
+
+#: Experiment registry: id -> run(quick, seed) -> ExperimentResult.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e1_synchrony.run,
+    "E2": e2_drift.run,
+    "E3": e3_impossibility.run,
+    "E4": e4_weak.run,
+    "E5": e5_notaries.run,
+    "E6": e6_deals.run,
+    "E7": e7_scalability.run,
+    "E8": e8_exploration.run,
+    "E9": e9_margin.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "fraction",
+    "mean",
+    "render_table",
+    "seeds_for",
+]

@@ -1,0 +1,133 @@
+"""E3 — Theorem 2: impossibility under partial synchrony.
+
+The proof quantifies over protocols; an experiment quantifies over a
+*family*.  We take the natural family the theorem defeats:
+
+* the time-bounded protocol instantiated with any assumed bound
+  Δ' ∈ {1, 10, 100} — the adversary withholds certificates until after
+  the protocol's entire timeout horizon (legal pre-GST), so Bob has
+  irrevocably issued χ while the refund cascade runs: **customer
+  security or liveness fails**;
+* the *no-timeout* variant (escrows wait for χ forever) — the adversary
+  withholds χ and the run never terminates: **termination fails**.
+
+Either horn kills Definition 1; that disjunction is the theorem.  For
+contrast, the last row runs the Definition 2 protocol (Theorem 3) under
+the same adversary: it aborts safely and terminates.
+"""
+
+from __future__ import annotations
+
+from ..core.params import TimingAssumptions, compute_params
+from ..core.session import PaymentSession
+from ..core.topology import PaymentTopology
+from ..net.adversary import CertificateWithholdingAdversary
+from ..net.timing import PartialSynchrony
+from ..properties import check_definition1, check_definition2
+from .harness import ExperimentResult
+
+EPSILON = 0.05
+N = 3
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E3",
+        title="no eventually-terminating protocol under partial synchrony (Theorem 2)",
+        claim=(
+            "For every timeout choice, a legal partial-synchrony adversary "
+            "forces a Definition 1 violation (safety/liveness for finite "
+            "timeouts; termination for none).  The weak protocol survives."
+        ),
+        columns=[
+            "protocol", "assumed_delta", "gst", "chi_issued", "bob_paid",
+            "def_ok", "violated",
+        ],
+    )
+    assumed_deltas = [1.0, 10.0] if quick else [1.0, 10.0, 100.0]
+    for assumed in assumed_deltas:
+        params = compute_params(
+            N, TimingAssumptions(delta=assumed, epsilon=EPSILON, rho=0.0)
+        )
+        # Adaptive adversary: pick GST beyond the whole timeout horizon.
+        gst = 4.0 * params.global_termination_bound()
+        topo = PaymentTopology.linear(N, payment_id=f"e3-{assumed}")
+        session = PaymentSession(
+            topo,
+            "timebounded",
+            PartialSynchrony(gst=gst, delta=1.0),
+            adversary=CertificateWithholdingAdversary(),
+            seed=seed,
+            protocol_options={"delta": assumed, "epsilon": EPSILON},
+        )
+        outcome = session.run()
+        report = check_definition1(outcome)
+        result.add_row(
+            protocol="timebounded",
+            assumed_delta=assumed,
+            gst=gst,
+            chi_issued=outcome.chi_issued(),
+            bob_paid=outcome.bob_paid,
+            def_ok=report.all_ok,
+            violated=",".join(
+                sorted(v.property_id.value for v in report.violations())
+            ) or "-",
+        )
+    # The no-timeout horn: money stays escrowed, nobody terminates.
+    topo = PaymentTopology.linear(N, payment_id="e3-notimeout")
+    session = PaymentSession(
+        topo,
+        "timebounded",
+        PartialSynchrony(gst=5_000.0, delta=1.0),
+        adversary=CertificateWithholdingAdversary(),
+        seed=seed,
+        horizon=20_000.0,
+        protocol_options={"delta": 1.0, "epsilon": EPSILON, "no_timeout": True},
+    )
+    outcome = session.run()
+    report = check_definition1(outcome)
+    result.add_row(
+        protocol="timebounded/no-timeout",
+        assumed_delta="inf",
+        gst=5_000.0,
+        chi_issued=outcome.chi_issued(),
+        bob_paid=outcome.bob_paid,
+        def_ok=report.all_ok,
+        violated=",".join(sorted(v.property_id.value for v in report.violations()))
+        or "-",
+    )
+    # Contrast: the Definition 2 protocol under the same adversary.
+    topo = PaymentTopology.linear(N, payment_id="e3-weak")
+    session = PaymentSession(
+        topo,
+        "weak",
+        PartialSynchrony(gst=500.0, delta=1.0),
+        adversary=CertificateWithholdingAdversary(),
+        seed=seed,
+        horizon=50_000.0,
+        protocol_options={
+            "tm": "trusted",
+            "patience_setup": 50.0,
+            "patience_decision": 50.0,
+        },
+    )
+    outcome = session.run()
+    report = check_definition2(outcome, patient=False)
+    result.add_row(
+        protocol="weak (Def 2)",
+        assumed_delta="-",
+        gst=500.0,
+        chi_issued=outcome.chi_issued(),
+        bob_paid=outcome.bob_paid,
+        def_ok=report.all_ok,
+        violated=",".join(sorted(v.property_id.value for v in report.violations()))
+        or "-",
+    )
+    result.note(
+        "the adversary holds every chi message as long as the timing model "
+        "allows; GST is chosen adaptively per protocol instance."
+    )
+    return result
+
+
+__all__ = ["run"]

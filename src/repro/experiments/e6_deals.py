@@ -1,0 +1,121 @@
+"""E6 — Section 5: cross-chain deals vs cross-chain payments.
+
+Reproduces the comparison the paper draws with Herlihy–Liskov–Shrira:
+
+* the **timelock commit** protocol achieves Safety / Termination /
+  Strong liveness under synchrony but loses Safety under partial
+  synchrony (a compliant party ends with an unacceptable payoff);
+* the **certified-blockchain commit** protocol keeps Safety and
+  Termination under partial synchrony but cannot offer strong
+  liveness (an early abort kills a deal everyone wanted);
+* the **separation**: a payment's path digraph is not a well-formed
+  deal; all-abort is deal-acceptable but payment-forbidden; a cyclic
+  deal cannot be expressed as a payment.
+"""
+
+from __future__ import annotations
+
+from ..deals import (
+    DealMatrix,
+    DealSession,
+    build_certified_deal,
+    build_timelock_deal,
+    separation_report,
+)
+from ..net.adversary import EdgeDelayAdversary
+from ..net.timing import PartialSynchrony, Synchronous
+from .harness import ExperimentResult, fraction, seeds_for
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="E6",
+        title="cross-chain deals (Herlihy et al.) vs payments (Section 5)",
+        claim=(
+            "timelock: all three deal properties under synchrony, Safety "
+            "lost under partial synchrony; certified: Safety+Termination "
+            "under partial synchrony, no strong liveness; payments and "
+            "deals are mutually inexpressible."
+        ),
+        columns=[
+            "protocol", "graph", "timing", "scenario",
+            "safety", "termination", "strong_liveness",
+        ],
+    )
+    graphs = [
+        ("cycle-3", DealMatrix.cycle(["p0", "p1", "p2"])),
+        ("clique-3", DealMatrix.clique(["p0", "p1", "p2"])),
+    ]
+    if not quick:
+        graphs.append(("cycle-5", DealMatrix.cycle([f"p{i}" for i in range(5)])))
+
+    for gname, matrix in graphs:
+        # Timelock, synchrony, honest:
+        safety, term, live = [], [], []
+        for s in seeds_for(quick, quick_count=5, full_count=15):
+            outcome = DealSession(
+                matrix, build_timelock_deal, Synchronous(1.0), seed=seed * 100 + s
+            ).run()
+            safety.append(outcome.safety_ok())
+            term.append(outcome.termination_ok())
+            live.append(outcome.all_transfers_happened)
+        result.add_row(
+            protocol="timelock", graph=gname, timing="synchronous",
+            scenario="honest",
+            safety=fraction(safety), termination=fraction(term),
+            strong_liveness=fraction(live),
+        )
+        # Timelock, partial synchrony, targeted reveal delay:
+        adversary = EdgeDelayAdversary([("esc_1_2", "p1")])
+        outcome = DealSession(
+            matrix,
+            build_timelock_deal,
+            PartialSynchrony(gst=500.0, delta=0.2, pre_gst_scale=0.0),
+            adversary=adversary,
+            seed=seed,
+        ).run()
+        result.add_row(
+            protocol="timelock", graph=gname, timing="partial-synchrony",
+            scenario="delayed reveal",
+            safety=outcome.safety_ok(), termination=outcome.termination_ok(),
+            strong_liveness=outcome.all_transfers_happened,
+        )
+        # Certified, partial synchrony, honest & patient:
+        outcome = DealSession(
+            matrix,
+            build_certified_deal,
+            PartialSynchrony(gst=10.0, delta=1.0),
+            seed=seed,
+            options={"patience": 500.0},
+            horizon=5_000.0,
+        ).run()
+        result.add_row(
+            protocol="certified", graph=gname, timing="partial-synchrony",
+            scenario="honest, patient",
+            safety=outcome.safety_ok(), termination=outcome.termination_ok(),
+            strong_liveness=outcome.all_transfers_happened,
+        )
+        # Certified, abort-first (strong liveness impossible):
+        outcome = DealSession(
+            matrix,
+            build_certified_deal,
+            PartialSynchrony(gst=10.0, delta=1.0),
+            seed=seed,
+            byzantine={1: "abort_immediately"},
+            options={"patience": 500.0},
+            horizon=5_000.0,
+        ).run()
+        result.add_row(
+            protocol="certified", graph=gname, timing="partial-synchrony",
+            scenario="party 1 aborts first",
+            safety=outcome.safety_ok(), termination=outcome.termination_ok(),
+            strong_liveness=outcome.all_transfers_happened,
+        )
+
+    sep = separation_report()
+    for key, value in sep.items():
+        result.note(f"separation: {key} = {value}")
+    return result
+
+
+__all__ = ["run"]

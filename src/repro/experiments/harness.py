@@ -1,0 +1,61 @@
+"""Experiment harness: result records and sweep helpers."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's table, ready for rendering and assertions."""
+
+    exp_id: str
+    title: str
+    claim: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> Dict[str, Any]:
+        row = dict(values)
+        missing = [c for c in self.columns if c not in row]
+        if missing:
+            raise ExperimentError(f"row missing columns {missing}")
+        self.rows.append(row)
+        return row
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> List[Any]:
+        return [row[name] for row in self.rows]
+
+    def find_rows(self, **match: Any) -> List[Dict[str, Any]]:
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in match.items())
+        ]
+
+
+def fraction(flags: Iterable[bool]) -> float:
+    """Share of True values (0 for empty input)."""
+    flags = list(flags)
+    return sum(1 for f in flags if f) / len(flags) if flags else 0.0
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return statistics.fmean(values) if values else 0.0
+
+
+def seeds_for(quick: bool, quick_count: int = 10, full_count: int = 40) -> List[int]:
+    """Standard seed list for Monte-Carlo sweeps."""
+    return list(range(quick_count if quick else full_count))
+
+
+__all__ = ["ExperimentResult", "fraction", "mean", "seeds_for"]

@@ -1,0 +1,41 @@
+"""ASCII table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .harness import ExperimentResult
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Fixed-width table with title, claim, rows, and notes."""
+    header = result.columns
+    body = [[_fmt(row.get(col, "")) for col in header] for row in result.rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in body)) if body else len(col)
+        for i, col in enumerate(header)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = [
+        f"== {result.exp_id}: {result.title} ==",
+        f"claim: {result.claim}",
+        "",
+        " | ".join(col.ljust(w) for col, w in zip(header, widths)),
+        sep,
+    ]
+    for line in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_table"]

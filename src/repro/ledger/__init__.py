@@ -1,0 +1,34 @@
+"""Value substrate: assets, accounts, escrow ledgers, blockchains,
+and standard contracts."""
+
+from .account import Account
+from .asset import Amount, amount
+from .blockchain import Block, CallContext, Contract, Receipt, SimpleChain, Transaction
+from .contracts import (
+    CertifiedBroadcastContract,
+    HTLCContract,
+    HTLCLock,
+    PublicationRecord,
+    TransactionManagerContract,
+)
+from .ledger import EscrowLock, Ledger, LockState
+
+__all__ = [
+    "Account",
+    "Amount",
+    "Block",
+    "CallContext",
+    "CertifiedBroadcastContract",
+    "Contract",
+    "EscrowLock",
+    "HTLCContract",
+    "HTLCLock",
+    "Ledger",
+    "LockState",
+    "PublicationRecord",
+    "Receipt",
+    "SimpleChain",
+    "Transaction",
+    "TransactionManagerContract",
+    "amount",
+]

@@ -1,0 +1,68 @@
+"""Accounts: named multi-asset balances with a non-negativity invariant."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import InsufficientFunds, LedgerError
+from .asset import Amount
+
+
+class Account:
+    """A named balance holder inside one ledger.
+
+    Balances are per-asset and may never go negative; attempting to
+    withdraw more than the balance raises :class:`InsufficientFunds`
+    and leaves the account unchanged.
+    """
+
+    def __init__(self, owner: str) -> None:
+        if not owner:
+            raise LedgerError("account owner must be non-empty")
+        self.owner = owner
+        self._balances: Dict[str, int] = {}
+
+    def balance(self, asset: str) -> Amount:
+        """Current balance in ``asset`` (zero if never touched)."""
+        return Amount(asset, self._balances.get(asset, 0))
+
+    def assets(self) -> List[str]:
+        """Sorted list of assets with non-zero balance."""
+        return sorted(a for a, u in self._balances.items() if u != 0)
+
+    def credit(self, amt: Amount) -> None:
+        """Add ``amt`` to the balance."""
+        if amt.units < 0:
+            raise LedgerError(f"cannot credit negative amount {amt!r}")
+        self._balances[amt.asset] = self._balances.get(amt.asset, 0) + amt.units
+
+    def debit(self, amt: Amount) -> None:
+        """Remove ``amt`` from the balance.
+
+        Raises
+        ------
+        InsufficientFunds
+            If the balance would go negative.  The account is unchanged.
+        """
+        if amt.units < 0:
+            raise LedgerError(f"cannot debit negative amount {amt!r}")
+        held = self._balances.get(amt.asset, 0)
+        if held < amt.units:
+            raise InsufficientFunds(
+                f"{self.owner!r} holds {held} {amt.asset}, cannot debit {amt.units}"
+            )
+        self._balances[amt.asset] = held - amt.units
+
+    def can_pay(self, amt: Amount) -> bool:
+        """Whether a debit of ``amt`` would succeed."""
+        return self._balances.get(amt.asset, 0) >= amt.units
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the balance table (asset -> units)."""
+        return dict(self._balances)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Account({self.owner!r}, {self._balances})"
+
+
+__all__ = ["Account"]

@@ -1,0 +1,271 @@
+"""The ledger: one escrow's book of accounts and escrow locks.
+
+Each escrow ``e_i`` (bank or blockchain) maintains a :class:`Ledger`.
+Value can be transferred *only between customers of the same escrow*
+(paper §2) — mechanically, between accounts of the same ledger.  The
+escrow's conditional custody ("place value in escrow, then complete or
+return it") is an :class:`EscrowLock` state machine::
+
+    HELD ──release──▶ RELEASED   (value to the beneficiary)
+      └────refund───▶ REFUNDED   (value back to the depositor)
+
+Escrow security (property ES) is the conservation invariant audited by
+:meth:`Ledger.audit`: minted value always equals account balances plus
+held locks — the escrow can never end up out of pocket, no matter what
+sequence of operations the participants attempt.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..errors import EscrowStateError, LedgerError, UnknownAccount
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceKind
+from .account import Account
+from .asset import Amount
+
+
+class LockState(str, Enum):
+    """Life-cycle of escrowed value."""
+
+    HELD = "held"
+    RELEASED = "released"
+    REFUNDED = "refunded"
+
+
+_LOCK_SEQ = itertools.count()
+
+
+@dataclass
+class EscrowLock:
+    """Value held by the escrow pending a completion decision."""
+
+    lock_id: str
+    depositor: str
+    beneficiary: str
+    amount: Amount
+    state: LockState = LockState.HELD
+    created_at: float = 0.0
+    resolved_at: Optional[float] = None
+
+    @property
+    def held(self) -> bool:
+        return self.state is LockState.HELD
+
+
+class Ledger:
+    """Book of accounts for one escrow.
+
+    Parameters
+    ----------
+    name:
+        The owning escrow's name (used in traces).
+    sim:
+        Optional simulator for trace integration; ledgers also work
+        standalone (unit tests, deals substrate).
+    """
+
+    def __init__(self, name: str, sim: Optional[Simulator] = None) -> None:
+        self.name = name
+        self.sim = sim
+        self._accounts: Dict[str, Account] = {}
+        self._locks: Dict[str, EscrowLock] = {}
+        self._minted: Dict[str, int] = {}
+
+    # -- time / trace helpers ---------------------------------------------
+
+    def _now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    def _trace(self, kind: TraceKind, **data: object) -> None:
+        if self.sim is not None:
+            self.sim.trace.record(self._now(), kind, self.name, **data)
+
+    # -- accounts -----------------------------------------------------------
+
+    def open_account(self, owner: str) -> Account:
+        """Create (or return) the account for ``owner``."""
+        existing = self._accounts.get(owner)
+        if existing is not None:
+            return existing
+        account = Account(owner)
+        self._accounts[owner] = account
+        return account
+
+    def account(self, owner: str) -> Account:
+        """Look up an existing account."""
+        try:
+            return self._accounts[owner]
+        except KeyError:
+            raise UnknownAccount(f"no account {owner!r} at {self.name!r}") from None
+
+    def has_account(self, owner: str) -> bool:
+        return owner in self._accounts
+
+    def balance(self, owner: str, asset: str) -> Amount:
+        """Balance shorthand."""
+        return self.account(owner).balance(asset)
+
+    def mint(self, owner: str, amt: Amount) -> None:
+        """Create new value in ``owner``'s account (scenario setup only)."""
+        if amt.units < 0:
+            raise LedgerError("cannot mint a negative amount")
+        self.open_account(owner).credit(amt)
+        self._minted[amt.asset] = self._minted.get(amt.asset, 0) + amt.units
+
+    # -- direct transfers ----------------------------------------------------
+
+    def transfer(self, frm: str, to: str, amt: Amount, reason: str = "") -> None:
+        """Move value between two accounts of this ledger atomically."""
+        src = self.account(frm)
+        dst = self.account(to)
+        src.debit(amt)  # raises InsufficientFunds before any credit
+        dst.credit(amt)
+        self._trace(
+            TraceKind.TRANSFER,
+            frm=frm,
+            to=to,
+            asset=amt.asset,
+            units=amt.units,
+            reason=reason,
+        )
+
+    # -- escrow locks ----------------------------------------------------------
+
+    def escrow_deposit(
+        self,
+        depositor: str,
+        beneficiary: str,
+        amt: Amount,
+        lock_id: Optional[str] = None,
+    ) -> EscrowLock:
+        """Move value from ``depositor`` into escrow custody.
+
+        Returns the lock; raises :class:`InsufficientFunds` (account
+        unchanged) if the depositor cannot cover ``amt``.
+        """
+        if not amt.is_positive:
+            raise LedgerError(f"escrow deposit must be positive, got {amt!r}")
+        self.account(beneficiary)  # beneficiary must exist up front
+        self.account(depositor).debit(amt)
+        lid = lock_id if lock_id is not None else f"{self.name}/lock{next(_LOCK_SEQ)}"
+        if lid in self._locks:
+            # Restore funds before failing: deposits are atomic.
+            self.account(depositor).credit(amt)
+            raise EscrowStateError(f"duplicate lock id {lid!r}")
+        lock = EscrowLock(
+            lock_id=lid,
+            depositor=depositor,
+            beneficiary=beneficiary,
+            amount=amt,
+            created_at=self._now(),
+        )
+        self._locks[lid] = lock
+        self._trace(
+            TraceKind.ESCROW_DEPOSIT,
+            lock_id=lid,
+            depositor=depositor,
+            beneficiary=beneficiary,
+            asset=amt.asset,
+            units=amt.units,
+        )
+        return lock
+
+    def lock(self, lock_id: str) -> EscrowLock:
+        """Look up a lock by id."""
+        try:
+            return self._locks[lock_id]
+        except KeyError:
+            raise EscrowStateError(f"unknown lock {lock_id!r} at {self.name!r}") from None
+
+    def escrow_release(self, lock_id: str) -> EscrowLock:
+        """Complete the transfer: locked value goes to the beneficiary."""
+        lock = self.lock(lock_id)
+        if not lock.held:
+            raise EscrowStateError(
+                f"lock {lock_id!r} already {lock.state.value}; cannot release"
+            )
+        lock.state = LockState.RELEASED
+        lock.resolved_at = self._now()
+        self.account(lock.beneficiary).credit(lock.amount)
+        self._trace(
+            TraceKind.ESCROW_RELEASE,
+            lock_id=lock_id,
+            beneficiary=lock.beneficiary,
+            asset=lock.amount.asset,
+            units=lock.amount.units,
+        )
+        return lock
+
+    def escrow_refund(self, lock_id: str) -> EscrowLock:
+        """Return the locked value to the depositor."""
+        lock = self.lock(lock_id)
+        if not lock.held:
+            raise EscrowStateError(
+                f"lock {lock_id!r} already {lock.state.value}; cannot refund"
+            )
+        lock.state = LockState.REFUNDED
+        lock.resolved_at = self._now()
+        self.account(lock.depositor).credit(lock.amount)
+        self._trace(
+            TraceKind.ESCROW_REFUND,
+            lock_id=lock_id,
+            depositor=lock.depositor,
+            asset=lock.amount.asset,
+            units=lock.amount.units,
+        )
+        return lock
+
+    def locks(self, state: Optional[LockState] = None) -> List[EscrowLock]:
+        """All locks, optionally filtered by state, in creation order."""
+        out = list(self._locks.values())
+        if state is not None:
+            out = [l for l in out if l.state is state]
+        return out
+
+    # -- auditing ----------------------------------------------------------------
+
+    def total_in_accounts(self, asset: str) -> int:
+        """Sum of account balances for ``asset``."""
+        return sum(acct.balance(asset).units for acct in self._accounts.values())
+
+    def total_in_locks(self, asset: str) -> int:
+        """Sum of HELD lock values for ``asset``."""
+        return sum(
+            l.amount.units
+            for l in self._locks.values()
+            if l.held and l.amount.asset == asset
+        )
+
+    def audit(self) -> Dict[str, bool]:
+        """Conservation check per asset: minted == accounts + held locks.
+
+        This is escrow security (ES) in executable form: if it holds at
+        the end of a run, the escrow has not lost (or fabricated) value.
+        """
+        assets = set(self._minted)
+        for acct in self._accounts.values():
+            assets.update(acct.snapshot())
+        for lock in self._locks.values():
+            assets.add(lock.amount.asset)
+        return {
+            asset: (
+                self._minted.get(asset, 0)
+                == self.total_in_accounts(asset) + self.total_in_locks(asset)
+            )
+            for asset in sorted(assets)
+        }
+
+    def audit_ok(self) -> bool:
+        """Whether conservation holds for every asset."""
+        return all(self.audit().values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ledger({self.name!r}, accounts={sorted(self._accounts)})"
+
+
+__all__ = ["EscrowLock", "Ledger", "LockState"]

@@ -1,0 +1,39 @@
+"""Message-passing network substrate: envelopes, timing models,
+scheduling adversaries, and the router."""
+
+from .adversary import (
+    Adversary,
+    CertificateWithholdingAdversary,
+    CompositeAdversary,
+    EdgeDelayAdversary,
+    FirstWindowAdversary,
+    HOLD,
+    KindDelayAdversary,
+    NullAdversary,
+    PredicateDelayAdversary,
+    RecordingAdversary,
+)
+from .message import Envelope, MsgKind
+from .network import Network, NetworkStats
+from .timing import Asynchronous, PartialSynchrony, Synchronous, TimingModel
+
+__all__ = [
+    "Adversary",
+    "Asynchronous",
+    "CertificateWithholdingAdversary",
+    "CompositeAdversary",
+    "EdgeDelayAdversary",
+    "Envelope",
+    "FirstWindowAdversary",
+    "HOLD",
+    "KindDelayAdversary",
+    "MsgKind",
+    "Network",
+    "NetworkStats",
+    "NullAdversary",
+    "PartialSynchrony",
+    "PredicateDelayAdversary",
+    "RecordingAdversary",
+    "Synchronous",
+    "TimingModel",
+]

@@ -1,0 +1,39 @@
+"""Executable property checkers for Definitions 1 and 2."""
+
+from .base import CheckReport, PropertyChecker, Status, Verdict, holds, vacuous, violated
+from .checker import check_definition1, check_definition2, consistency_verdict
+from .liveness import (
+    EventualTermination,
+    StrongLiveness,
+    TimeBoundedTermination,
+    WeakLiveness,
+)
+from .safety import (
+    AliceSecurity,
+    BobSecurity,
+    CertificateConsistency,
+    ConnectorSecurity,
+    EscrowSecurity,
+)
+
+__all__ = [
+    "AliceSecurity",
+    "BobSecurity",
+    "CertificateConsistency",
+    "CheckReport",
+    "ConnectorSecurity",
+    "EscrowSecurity",
+    "EventualTermination",
+    "PropertyChecker",
+    "Status",
+    "StrongLiveness",
+    "TimeBoundedTermination",
+    "Verdict",
+    "WeakLiveness",
+    "check_definition1",
+    "check_definition2",
+    "consistency_verdict",
+    "holds",
+    "vacuous",
+    "violated",
+]

@@ -1,0 +1,153 @@
+"""Safety properties: ES, CS1, CS2, CS3, CC (Definitions 1 and 2).
+
+Every checker mirrors the paper's conditional phrasing: the guarantee is
+demanded only when the stated participants abide by the protocol;
+otherwise the verdict is VACUOUS.
+"""
+
+from __future__ import annotations
+
+from ..core.outcomes import PaymentOutcome
+from ..core.problem import PropertyId
+from .base import PropertyChecker, Verdict, holds, vacuous, violated
+
+
+class EscrowSecurity(PropertyChecker):
+    """**ES** — "Each escrow that abides by the protocol does not lose
+    money": honest escrows' ledgers conserve value (minted = accounts +
+    held locks)."""
+
+    property_id = PropertyId.ES
+
+    def check(self, outcome: PaymentOutcome) -> Verdict:
+        honest_escrows = [
+            e for e in outcome.topology.escrows() if outcome.is_honest(e)
+        ]
+        if not honest_escrows:
+            return vacuous(self.property_id, "no honest escrows")
+        bad = [
+            e for e in honest_escrows if not outcome.ledger_audits.get(e, False)
+        ]
+        if bad:
+            return violated(self.property_id, f"conservation broken at {bad}")
+        return holds(self.property_id, f"{len(honest_escrows)} escrows conserve value")
+
+
+class AliceSecurity(PropertyChecker):
+    """**CS1** — upon termination, honest Alice (with honest escrow) has
+    either her money back or the (commit) certificate.
+
+    ``cert_kinds`` selects which certificate satisfies the clause:
+    Definition 1 uses χ; Definition 2 uses the commit certificate χc.
+    """
+
+    property_id = PropertyId.CS1
+
+    def __init__(self, cert_kinds: tuple = ("chi", "commit")) -> None:
+        self.cert_kinds = tuple(cert_kinds)
+
+    def check(self, outcome: PaymentOutcome) -> Verdict:
+        topo = outcome.topology
+        alice = topo.alice
+        if not outcome.is_honest(alice) or not outcome.is_honest(topo.escrow(0)):
+            return vacuous(self.property_id, "Alice or her escrow is Byzantine")
+        if not outcome.terminated(alice):
+            return vacuous(self.property_id, "Alice has not terminated")
+        if outcome.refunded(alice):
+            return holds(self.property_id, "money back")
+        if any(outcome.holds_certificate(alice, kind) for kind in self.cert_kinds):
+            return holds(self.property_id, "holds certificate")
+        return violated(
+            self.property_id,
+            f"Alice lost {outcome.position_delta(alice)} without a certificate",
+        )
+
+
+class BobSecurity(PropertyChecker):
+    """**CS2** — upon termination, honest Bob (with honest escrow) has
+    either received the money, or — Definition 1 — not issued χ, or —
+    Definition 2 — holds the abort certificate χa."""
+
+    property_id = PropertyId.CS2
+
+    def __init__(self, weak_variant: bool = False) -> None:
+        self.weak_variant = weak_variant
+
+    def check(self, outcome: PaymentOutcome) -> Verdict:
+        topo = outcome.topology
+        bob = topo.bob
+        last_escrow = topo.escrow(topo.n_escrows - 1)
+        if not outcome.is_honest(bob) or not outcome.is_honest(last_escrow):
+            return vacuous(self.property_id, "Bob or his escrow is Byzantine")
+        if not outcome.terminated(bob):
+            return vacuous(self.property_id, "Bob has not terminated")
+        if outcome.bob_paid:
+            return holds(self.property_id, "received the money")
+        if self.weak_variant:
+            if outcome.holds_certificate(bob, "abort"):
+                return holds(self.property_id, "holds the abort certificate")
+            return violated(
+                self.property_id, "Bob neither paid nor holding abort certificate"
+            )
+        if not outcome.chi_issued():
+            return holds(self.property_id, "did not issue the certificate")
+        return violated(self.property_id, "Bob issued chi but was not paid")
+
+
+class ConnectorSecurity(PropertyChecker):
+    """**CS3** — upon termination, each honest connector whose *two*
+    escrows abide has got her money back: she holds either her original
+    position (refund) or the completed-payment position (paid upstream,
+    paid out downstream — commission included)."""
+
+    property_id = PropertyId.CS3
+
+    def check(self, outcome: PaymentOutcome) -> Verdict:
+        topo = outcome.topology
+        applicable = 0
+        for i in range(1, topo.n_escrows):
+            name = topo.customer(i)
+            if not outcome.is_honest(name):
+                continue
+            if not (
+                outcome.is_honest(topo.escrow(i - 1))
+                and outcome.is_honest(topo.escrow(i))
+            ):
+                continue
+            if not outcome.terminated(name):
+                continue
+            applicable += 1
+            if outcome.refunded(name) or outcome.in_success_position(name):
+                continue
+            return violated(
+                self.property_id,
+                f"{name} ended at {outcome.position_delta(name)} "
+                f"(neither refund nor success position)",
+            )
+        if applicable == 0:
+            return vacuous(self.property_id, "no applicable connector")
+        return holds(self.property_id, f"{applicable} connectors whole")
+
+
+class CertificateConsistency(PropertyChecker):
+    """**CC** — an abort and a commit certificate can never both be
+    issued (Definition 2)."""
+
+    property_id = PropertyId.CC
+
+    def check(self, outcome: PaymentOutcome) -> Verdict:
+        kinds = outcome.decision_kinds_issued()
+        if not kinds:
+            return vacuous(self.property_id, "no decision certificates issued")
+        if kinds == {"commit"} or kinds == {"abort"}:
+            return holds(self.property_id, f"only {next(iter(kinds))}")
+        return violated(self.property_id, "both commit and abort certificates exist")
+
+
+__all__ = [
+    "AliceSecurity",
+    "BobSecurity",
+    "CertificateConsistency",
+    "ConnectorSecurity",
+    "EscrowSecurity",
+]

@@ -1,0 +1,16 @@
+"""Cross-chain payment protocols: the paper's two constructions plus
+the baselines used for comparison."""
+
+from .base import (
+    PaymentProtocol,
+    available_protocols,
+    create_protocol,
+    register_protocol,
+)
+
+__all__ = [
+    "PaymentProtocol",
+    "available_protocols",
+    "create_protocol",
+    "register_protocol",
+]

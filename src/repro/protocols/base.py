@@ -1,0 +1,121 @@
+"""Protocol interface and registry.
+
+A *payment protocol* consumes a :class:`~repro.core.session.PaymentEnv`
+and populates it with participant processes.  Protocols register
+themselves by name so sessions can be configured with plain strings
+(``PaymentSession(topo, "timebounded", ...)``).
+
+Every protocol distinguishes **participants** (``processes``) — the 2n+1
+parties whose termination ends the session and whose conduct the
+properties judge — from **infrastructure** (``infrastructure``) —
+blockchains, transaction managers, notaries — which may run forever.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Dict, List, Type
+
+from ..core.session import PaymentEnv
+from ..errors import ProtocolError
+from ..sim.process import Process
+
+
+class PaymentProtocol(ABC):
+    """Base class for cross-chain payment protocols."""
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    def __init__(self, env: PaymentEnv) -> None:
+        self.env = env
+        #: Protocol participants (customers + escrows), by name.
+        self.processes: Dict[str, Process] = {}
+        #: Supporting machinery (chains, TMs, notaries), by name.
+        self.infrastructure: Dict[str, Process] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @abstractmethod
+    def build(self) -> None:
+        """Create and register all processes with the network."""
+
+    def start(self) -> None:
+        """Start infrastructure first, then participants."""
+        for process in self.infrastructure.values():
+            process.start()
+        for process in self.processes.values():
+            process.start()
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def options(self) -> Dict[str, Any]:
+        """Protocol-specific options passed through the session."""
+        return self.env.config.get("options", {})
+
+    def option(self, key: str, default: Any = None) -> Any:
+        return self.options.get(key, default)
+
+    def add_participant(self, process: Process) -> Process:
+        """Register a participant with the protocol and the network."""
+        if process.name in self.processes:
+            raise ProtocolError(f"duplicate participant {process.name!r}")
+        self.processes[process.name] = process
+        self.env.network.register(process)
+        return process
+
+    def add_infrastructure(self, process: Process) -> Process:
+        """Register an infrastructure process."""
+        if process.name in self.infrastructure:
+            raise ProtocolError(f"duplicate infrastructure {process.name!r}")
+        self.infrastructure[process.name] = process
+        self.env.network.register(process)
+        return process
+
+
+_REGISTRY: Dict[str, Type[PaymentProtocol]] = {}
+
+
+def register_protocol(cls: Type[PaymentProtocol]) -> Type[PaymentProtocol]:
+    """Class decorator adding a protocol to the registry."""
+    if not cls.name:
+        raise ProtocolError(f"{cls.__name__} must set a registry name")
+    if cls.name in _REGISTRY:
+        raise ProtocolError(f"protocol name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_protocols() -> List[str]:
+    """Sorted names of registered protocols."""
+    _ensure_builtins_loaded()
+    return sorted(_REGISTRY)
+
+
+def create_protocol(name: str, env: PaymentEnv) -> PaymentProtocol:
+    """Instantiate a registered protocol by name."""
+    _ensure_builtins_loaded()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(env)
+
+
+def _ensure_builtins_loaded() -> None:
+    """Import built-in protocol modules so they self-register."""
+    from . import timebounded  # noqa: F401
+    from . import weak  # noqa: F401
+    from . import htlc  # noqa: F401
+    from . import certified  # noqa: F401
+
+
+__all__ = [
+    "PaymentProtocol",
+    "available_protocols",
+    "create_protocol",
+    "register_protocol",
+]

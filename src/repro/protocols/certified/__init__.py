@@ -1,0 +1,5 @@
+"""Certified-blockchain commit baseline (Herlihy–Liskov–Shrira)."""
+
+from .protocol import CBCBackend, CBCObserver, CertifiedCommitProtocol
+
+__all__ = ["CBCBackend", "CBCObserver", "CertifiedCommitProtocol"]

@@ -1,0 +1,204 @@
+"""Certified-blockchain commit baseline (Herlihy–Liskov–Shrira).
+
+The *certified blockchain commit protocol* of [3] replaces per-party
+timeouts with a shared **certified blockchain** (CBC): a public
+append-only log whose entries come with transferable proofs of
+publication.  Parties publish their votes ("escrowed", commit request,
+abort request) on the CBC; the *order of publication* decides the
+outcome deterministically, so everybody extracts the same decision —
+safety and termination under partial synchrony, but (as Section 5 of
+our paper notes) **no strong liveness**: an abort published first wins
+even if everyone was willing.
+
+Structure here:
+
+* a :class:`~repro.ledger.blockchain.SimpleChain` hosts the
+  :class:`~repro.ledger.contracts.CertifiedBroadcastContract`;
+* participants publish :class:`~repro.crypto.signatures.SignedClaim`
+  votes via transactions;
+* a chain-local observer replays the finalised log through the decision
+  rule (first abort before commit-completion wins) and broadcasts the
+  decision certificate, citing the deciding publication record;
+* escrows/customers are the weak-liveness participants — the two
+  protocols share their on-decision behaviour, which is exactly the
+  correspondence the paper draws.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set
+
+from ...crypto.certificates import Decision, DecisionCertificate
+from ...crypto.signatures import SignedClaim
+from ...errors import ProtocolError
+from ...ledger.blockchain import Receipt, SimpleChain
+from ...ledger.contracts import CertifiedBroadcastContract, PublicationRecord
+from ...net.message import MsgKind
+from ...sim.process import Process
+from ...sim.trace import TraceKind
+from ..base import register_protocol
+from ..weak.protocol import WeakLivenessProtocol
+from ..weak.tm import DecisionListener, TMBackend, _SingleIssuerListener
+
+
+class CBCObserver(Process):
+    """Replays the certified log and broadcasts the derived decision."""
+
+    def __init__(
+        self,
+        sim: Any,
+        name: str,
+        network: Any,
+        chain: SimpleChain,
+        log_address: str,
+        keyring: Any,
+        identity: Any,
+        payment_id: str,
+        escrows: List[str],
+        beneficiary: str,
+        participants: List[str],
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.chain = chain
+        self.log_address = log_address
+        self.keyring = keyring
+        self.identity = identity
+        self.payment_id = payment_id
+        self.escrows = list(escrows)
+        self.beneficiary = beneficiary
+        self.participants = list(participants)
+        self.broadcasted = False
+        chain.subscribe_finality(self._on_finality)
+
+    def _on_finality(self, receipt: Receipt) -> None:
+        if self.broadcasted or not receipt.ok:
+            return
+        if receipt.tx.contract != self.log_address:
+            return
+        contract = self.chain.contract(self.log_address)
+        assert isinstance(contract, CertifiedBroadcastContract)
+        decision = self._derive(contract.log, up_to_height=receipt.block_height)
+        if decision is None:
+            return
+        self.broadcasted = True
+        cert = DecisionCertificate.issue(self.identity, self.payment_id, decision)
+        self.sim.trace.record(
+            self.sim.now, TraceKind.CERT_ISSUED, self.name, cert=decision.value
+        )
+        for participant in self.participants:
+            self.network.send(self, participant, MsgKind.DECISION, cert)
+
+    def _derive(
+        self, log: List[PublicationRecord], up_to_height: int
+    ) -> Optional[Decision]:
+        """Decision rule over the published-and-final prefix of the log."""
+        reported: Set[str] = set()
+        commit_requested = False
+        for record in log:
+            if record.height > up_to_height:
+                break
+            claim = record.payload
+            if not isinstance(claim, SignedClaim):
+                continue
+            if not claim.valid(self.keyring, expected_signer=record.publisher):
+                continue
+            if claim.get("payment_id") != self.payment_id:
+                continue
+            kind = claim.get("kind")
+            if kind == "abort_request":
+                return Decision.ABORT
+            if kind == "escrowed" and record.publisher in self.escrows:
+                reported.add(record.publisher)
+            elif kind == "commit_request" and record.publisher == self.beneficiary:
+                commit_requested = True
+            if commit_requested and len(reported) == len(self.escrows):
+                return Decision.COMMIT
+        return None
+
+
+class CBCBackend(TMBackend):
+    """Votes as certified publications; decisions from the log order."""
+
+    def __init__(self, block_interval: float = 1.0, confirmations: int = 2) -> None:
+        self.block_interval = block_interval
+        self.confirmations = confirmations
+        self.chain_name = "cbc"
+        self.observer_name = "cbcobserver"
+        self.log_address = "log"
+        self._keyring: Any = None
+        self._payment_id: str = ""
+
+    def build(self, protocol: Any) -> None:
+        env = protocol.env
+        topo = env.topology
+        self._keyring = env.keyring
+        self._payment_id = topo.payment_id
+        chain = SimpleChain(
+            env.sim,
+            self.chain_name,
+            block_interval=self.block_interval,
+            confirmations=self.confirmations,
+        )
+        chain.deploy(CertifiedBroadcastContract(address=self.log_address))
+        observer = CBCObserver(
+            sim=env.sim,
+            name=self.observer_name,
+            network=env.network,
+            chain=chain,
+            log_address=self.log_address,
+            keyring=env.keyring,
+            identity=env.identity_of(self.observer_name),
+            payment_id=topo.payment_id,
+            escrows=topo.escrows(),
+            beneficiary=topo.bob,
+            participants=topo.participants(),
+        )
+        protocol.add_infrastructure(chain)
+        protocol.add_infrastructure(observer)
+
+    _KINDS = {
+        MsgKind.ESCROWED: "escrowed",
+        MsgKind.COMMIT_REQUEST: "commit_request",
+        MsgKind.ABORT_REQUEST: "abort_request",
+    }
+
+    def report(self, process: Process, kind: MsgKind, claim: SignedClaim) -> None:
+        if kind not in self._KINDS:
+            raise ProtocolError(f"CBC backend cannot route {kind!r}")
+        process.network.send(  # type: ignore[attr-defined]
+            process,
+            self.chain_name,
+            MsgKind.CONTROL,
+            {
+                "op": "submit_tx",
+                "contract": self.log_address,
+                "method": "publish",
+                "args": {"payload": claim},
+            },
+        )
+
+    def make_listener(self) -> DecisionListener:
+        return _SingleIssuerListener(self._keyring, self.observer_name, self._payment_id)
+
+
+@register_protocol
+class CertifiedCommitProtocol(WeakLivenessProtocol):
+    """Weak-liveness participants over a certified-blockchain decision log.
+
+    Options: ``block_interval``, ``confirmations``, plus the patience
+    options of :class:`WeakLivenessProtocol`.
+    """
+
+    name = "certified"
+
+    def build(self) -> None:
+        backend = CBCBackend(
+            block_interval=float(self.option("block_interval", 1.0)),
+            confirmations=int(self.option("confirmations", 2)),
+        )
+        self.env.config.setdefault("options", {})["tm"] = backend
+        super().build()
+
+
+__all__ = ["CBCBackend", "CBCObserver", "CertifiedCommitProtocol"]

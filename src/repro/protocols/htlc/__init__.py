@@ -1,0 +1,6 @@
+"""Hashed-timelock baseline (Interledger atomic mode / timelock commit
+on a path)."""
+
+from .protocol import HTLCCustomer, HTLCEscrow, HTLCProtocol
+
+__all__ = ["HTLCCustomer", "HTLCEscrow", "HTLCProtocol"]

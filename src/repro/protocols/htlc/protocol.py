@@ -1,0 +1,367 @@
+"""Hashed-timelock (HTLC) baseline protocol.
+
+The *atomic* mode of Interledger [Thomas & Schwartz 2015] and the
+path-shaped special case of the Herlihy–Liskov–Shrira timelock commit
+protocol: no certificates, no transaction manager — just hash-locks and
+staggered deadlines.
+
+Mechanics
+---------
+Bob knows a secret ``s``; its hash ``h`` is common setup knowledge.
+Locks are created forward along the path with *decreasing* deadlines::
+
+    lock at e_i:  depositor c_i, beneficiary c_{i+1}, hash h,
+                  local deadline  D_i = start_i + (n - i) * step
+
+so every beneficiary has at least ``step`` local-clock units to claim
+upstream after learning the secret downstream.  Bob claims at
+``e_{n-1}`` by revealing ``s``; each claim reveals ``s`` to the lock's
+depositor, who then claims one hop upstream.  An unclaimed lock is
+refunded at its deadline.
+
+What the paper says about this protocol — and what experiment E6
+verifies — is that it offers **no success guarantee**: under synchrony
+with honest parties it completes, but under partial synchrony a delayed
+claim can leave a connector paying downstream without being paid
+upstream (CS3 violation), and there is nothing like χ for Alice (CS1's
+certificate arm is replaced by possession of the revealed secret).
+
+Options
+-------
+``step``:
+    Per-hop deadline stagger (default: ``4 * (delta + epsilon)`` with
+    ``delta`` from the timing model / options and ``epsilon`` 0.05).
+``give_up_margin``:
+    Extra local waiting after the last relevant deadline before a
+    customer abandons the run (bounds termination).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ...clocks import DriftingClock, PERFECT_CLOCK
+from ...crypto.hashlock import HashLock, Preimage, new_secret
+from ...errors import ProtocolError
+from ...ledger.asset import Amount
+from ...ledger.ledger import Ledger
+from ...net.message import Envelope, MsgKind
+from ...sim.process import Process
+from ...sim.trace import TraceKind
+from ..base import PaymentProtocol, register_protocol
+
+
+class HTLCEscrow(Process):
+    """Escrow honouring hash-locks with a local-clock deadline."""
+
+    def __init__(
+        self,
+        sim: Any,
+        name: str,
+        network: Any,
+        ledger: Ledger,
+        payment_id: str,
+        upstream: str,
+        downstream: str,
+        amount: Amount,
+        hashlock: HashLock,
+        clock: DriftingClock = PERFECT_CLOCK,
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.ledger = ledger
+        self.payment_id = payment_id
+        self.upstream = upstream
+        self.downstream = downstream
+        self.amount = amount
+        self.hashlock = hashlock
+        self.clock = clock
+        self.lock_id: Optional[str] = None
+        self.deadline_local: Optional[float] = None
+        self.resolved = False
+
+    @property
+    def now_local(self) -> float:
+        return self.clock.local_time(self.sim.now)
+
+    def handle_message(self, message: Envelope) -> None:
+        if message.kind is MsgKind.MONEY and message.sender == self.upstream:
+            self._on_deposit(message)
+        elif message.kind is MsgKind.CLAIM and message.sender == self.downstream:
+            self._on_claim(message)
+
+    def _on_deposit(self, message: Envelope) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict) or self.lock_id is not None:
+            return
+        amount = payload.get("amount")
+        deadline = payload.get("deadline")
+        if amount != self.amount or not isinstance(deadline, (int, float)):
+            return
+        if not self.ledger.account(self.upstream).can_pay(self.amount):
+            return
+        lock = self.ledger.escrow_deposit(
+            depositor=self.upstream,
+            beneficiary=self.downstream,
+            amt=self.amount,
+            lock_id=f"{self.payment_id}/{self.name}",
+        )
+        self.lock_id = lock.lock_id
+        self.deadline_local = float(deadline)
+        self.set_timer_at("deadline", self.clock.global_time(self.deadline_local))
+        # Tell the beneficiary the lock exists (and when it expires):
+        self.network.send(
+            self,
+            self.downstream,
+            MsgKind.HASHLOCK_SETUP,
+            {
+                "payment_id": self.payment_id,
+                "amount": self.amount,
+                "deadline": self.deadline_local,
+            },
+        )
+
+    def _on_claim(self, message: Envelope) -> None:
+        payload = message.payload
+        if self.resolved or self.lock_id is None or not isinstance(payload, dict):
+            return
+        preimage = payload.get("preimage")
+        if not isinstance(preimage, Preimage) or not self.hashlock.matches(preimage):
+            return
+        if self.deadline_local is not None and self.now_local >= self.deadline_local:
+            return  # too late: the refund path owns the lock now
+        self.resolved = True
+        self.cancel_timer("deadline")
+        self.ledger.escrow_release(self.lock_id)
+        self.network.send(
+            self, self.downstream, MsgKind.MONEY, {"amount": self.amount, "note": "payment"}
+        )
+        # On-chain claims reveal the preimage publicly; here the escrow
+        # forwards it to the depositor, who needs it to claim upstream.
+        self.network.send(
+            self, self.upstream, MsgKind.SECRET, {"preimage": preimage}
+        )
+        self.terminate(reason="claimed")
+
+    def on_timer(self, timer_id: str) -> None:
+        if timer_id != "deadline" or self.resolved or self.lock_id is None:
+            return
+        self.resolved = True
+        self.ledger.escrow_refund(self.lock_id)
+        self.sim.trace.record(
+            self.sim.now, TraceKind.TIMEOUT, self.name, state="htlc_deadline"
+        )
+        self.network.send(
+            self, self.upstream, MsgKind.MONEY, {"amount": self.amount, "note": "refund"}
+        )
+        self.terminate(reason="refunded")
+
+
+class HTLCCustomer(Process):
+    """Customer of the HTLC chain (Alice / connector / Bob)."""
+
+    def __init__(
+        self,
+        sim: Any,
+        name: str,
+        network: Any,
+        payment_id: str,
+        role: str,
+        hashlock: HashLock,
+        secret: Optional[Preimage] = None,
+        deposit_escrow: Optional[str] = None,
+        deposit_amount: Optional[Amount] = None,
+        incoming_escrow: Optional[str] = None,
+        lock_deadline_local: Optional[float] = None,
+        step: float = 1.0,
+        give_up_local: Optional[float] = None,
+        clock: DriftingClock = PERFECT_CLOCK,
+        behavior: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.payment_id = payment_id
+        self.role = role
+        self.hashlock = hashlock
+        self.secret = secret
+        self.deposit_escrow = deposit_escrow
+        self.deposit_amount = deposit_amount
+        self.incoming_escrow = incoming_escrow
+        self.lock_deadline_local = lock_deadline_local
+        self.step = step
+        self.give_up_local = give_up_local
+        self.clock = clock
+        self.behavior = behavior
+        self.deposited = False
+        self.outcome: Optional[str] = None
+
+    @property
+    def now_local(self) -> float:
+        return self.clock.local_time(self.sim.now)
+
+    def start(self) -> None:
+        if self.give_up_local is not None:
+            self.set_timer_at("give_up", self.clock.global_time(self.give_up_local))
+        if self.role == "alice" and self.behavior != "never_deposit":
+            self._deposit(self.lock_deadline_local)
+
+    def _deposit(self, deadline_local: Optional[float]) -> None:
+        if self.deposited or self.deposit_escrow is None or deadline_local is None:
+            return
+        self.deposited = True
+        self.network.send(
+            self,
+            self.deposit_escrow,
+            MsgKind.MONEY,
+            {"amount": self.deposit_amount, "deadline": deadline_local},
+        )
+
+    def handle_message(self, message: Envelope) -> None:
+        if message.kind is MsgKind.HASHLOCK_SETUP and message.sender == self.incoming_escrow:
+            self._on_setup(message)
+        elif message.kind is MsgKind.SECRET and message.sender == self.deposit_escrow:
+            self._on_secret(message)
+        elif message.kind is MsgKind.MONEY:
+            self._on_money(message)
+
+    def _on_setup(self, message: Envelope) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict):
+            return
+        upstream_deadline = float(payload.get("deadline", 0.0))
+        if self.role == "bob":
+            if self.behavior == "bob_never_claims" or self.secret is None:
+                return
+            self.network.send(
+                self,
+                self.incoming_escrow,
+                MsgKind.CLAIM,
+                {"preimage": self.secret},
+            )
+            return
+        # Connector: lock one hop downstream with a tighter deadline.
+        # The deadline arithmetic uses *her* clock; upstream_deadline is
+        # on the upstream escrow's clock — under bounded drift the step
+        # must absorb the skew, which is why the naive HTLC stagger is
+        # another drift casualty (cf. experiment E6).
+        if self.behavior != "never_deposit":
+            self._deposit(upstream_deadline - self.step)
+
+    def _on_secret(self, message: Envelope) -> None:
+        payload = message.payload
+        preimage = payload.get("preimage") if isinstance(payload, dict) else None
+        if not isinstance(preimage, Preimage) or not self.hashlock.matches(preimage):
+            return
+        self.secret = preimage
+        self.sim.trace.record(
+            self.sim.now, TraceKind.CERT_RECEIVED, self.name, cert="preimage"
+        )
+        if self.role == "alice":
+            # The revealed secret is Alice's receipt; her lock was claimed.
+            self.outcome = "paid_out"
+            self.terminate(reason="secret received (payment complete)")
+            return
+        if self.incoming_escrow is not None and self.behavior != "withhold_claim":
+            self.network.send(
+                self, self.incoming_escrow, MsgKind.CLAIM, {"preimage": self.secret}
+            )
+
+    def _on_money(self, message: Envelope) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict):
+            return
+        note = payload.get("note")
+        if note == "payment" and message.sender == self.incoming_escrow:
+            self.outcome = "paid"
+            self.terminate(reason="received payment")
+        elif note == "refund" and message.sender == self.deposit_escrow:
+            self.outcome = "refunded"
+            self.terminate(reason="refunded")
+
+    def on_timer(self, timer_id: str) -> None:
+        if timer_id == "give_up" and not self.terminated:
+            self.outcome = self.outcome or "gave_up"
+            self.terminate(reason="gave up waiting")
+
+
+@register_protocol
+class HTLCProtocol(PaymentProtocol):
+    """The hash-timelock baseline on the Figure 1 path."""
+
+    name = "htlc"
+
+    def build(self) -> None:
+        env = self.env
+        topo = env.topology
+        delta = self.option("delta", env.network.timing.known_bound)
+        if delta is None:
+            raise ProtocolError(
+                "HTLC needs a presumed delay bound: pass "
+                "protocol_options={'delta': ...} (it will be wrong under "
+                "partial synchrony — that is the point of experiment E6)"
+            )
+        epsilon = float(self.option("epsilon", 0.05))
+        step = float(self.option("step", 4.0 * (float(delta) + epsilon)))
+        margin = float(self.option("give_up_margin", 4.0 * step))
+        n = topo.n_escrows
+        secret = new_secret(f"{topo.payment_id}/secret")
+        hashlock = secret.lock()
+        # Alice's lock deadline, on e_0's clock: it must cover both the
+        # forward lock-creation cascade (one setup + one deposit per hop,
+        # each <= delta + epsilon) and n claim hops of `step` each.  The
+        # per-hop staggering is then computed by each connector relative
+        # to what she observes.
+        forward_budget = 2.0 * n * (float(delta) + epsilon)
+        alice_deadline = (
+            env.clock_of(topo.escrow(0)).local_time(env.sim.now)
+            + forward_budget
+            + n * step
+        )
+        give_up = forward_budget + (n + 2.0) * step + margin
+
+        for i in range(n):
+            name = topo.escrow(i)
+            escrow = HTLCEscrow(
+                sim=env.sim,
+                name=name,
+                network=env.network,
+                ledger=env.ledgers[name],
+                payment_id=topo.payment_id,
+                upstream=topo.upstream_customer(i),
+                downstream=topo.downstream_customer(i),
+                amount=topo.amount_at(i),
+                hashlock=hashlock,
+                clock=env.clock_of(name),
+            )
+            self.add_participant(escrow)
+
+        for i in range(topo.n_customers):
+            name = topo.customer(i)
+            if i == 0:
+                role, dep, inc = "alice", topo.escrow(0), None
+            elif i == n:
+                role, dep, inc = "bob", None, topo.escrow(n - 1)
+            else:
+                role, dep, inc = "connector", topo.escrow(i), topo.escrow(i - 1)
+            clock = env.clock_of(name)
+            customer = HTLCCustomer(
+                sim=env.sim,
+                name=name,
+                network=env.network,
+                payment_id=topo.payment_id,
+                role=role,
+                hashlock=hashlock,
+                secret=secret if i == n else None,
+                deposit_escrow=dep,
+                deposit_amount=topo.amount_at(i) if dep else None,
+                incoming_escrow=inc,
+                lock_deadline_local=alice_deadline if i == 0 else None,
+                step=step,
+                give_up_local=clock.local_time(env.sim.now) + give_up,
+                clock=clock,
+                behavior=env.byzantine_behavior(name),
+            )
+            self.add_participant(customer)
+
+
+__all__ = ["HTLCCustomer", "HTLCEscrow", "HTLCProtocol"]

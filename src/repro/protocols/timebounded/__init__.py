@@ -1,0 +1,14 @@
+"""The Theorem 1 protocol: time-bounded cross-chain payment under
+synchrony, fine-tuned for clock drift (Figure 2 of the paper)."""
+
+from .customer import alice_spec, bob_spec, chloe_spec
+from .escrow import escrow_spec
+from .protocol import TimeBoundedProtocol
+
+__all__ = [
+    "TimeBoundedProtocol",
+    "alice_spec",
+    "bob_spec",
+    "chloe_spec",
+    "escrow_spec",
+]

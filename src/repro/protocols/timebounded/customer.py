@@ -1,0 +1,376 @@
+"""Customer automata for the time-bounded protocol (Figure 2).
+
+Three roles, exactly as drawn in the paper:
+
+* **Alice** (``c_0``): await ``G(d_0)`` from ``e_0``; send $; await the
+  refund or the certificate χ.
+* **Chloe_i** (``c_i``, 0 < i < n): await *both* ``G(d_i)`` from her
+  downstream escrow ``e_i`` and ``P(a_{i-1})`` from her upstream escrow
+  ``e_{i-1}`` (in either order); send $ to ``e_i``; then either receive
+  the refund (done) or receive χ, forward it to ``e_{i-1}``, and await
+  the money from ``e_{i-1}``.
+* **Bob** (``c_n``): await ``P(a_{n-1})`` from ``e_{n-1}``; sign and
+  send χ; await the money.
+
+Customer ``config`` keys::
+
+    index, payment_id, keyring, identity,
+    upstream_escrow / downstream_escrow (as applicable),
+    send_amount (what she deposits), expected_promise_window,
+    expected_guarantee_window
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ...crypto.certificates import PaymentCertificate
+from ...crypto.promises import Guarantee, PaymentPromise
+from ...net.message import Envelope, MsgKind
+from ...anta.transitions import (
+    AutomatonSpec,
+    ReceiveSpec,
+    SendSpec,
+    StateKind,
+    StateSpec,
+)
+from ...sim.trace import TraceKind
+
+
+# -- guards -----------------------------------------------------------------
+
+
+def guarantee_guard(automaton: Any, envelope: Envelope) -> bool:
+    """Accept ``G(d)`` iff signed by the expected escrow with the
+    window the protocol parameters prescribe (no weaker)."""
+    guarantee = envelope.payload
+    if not isinstance(guarantee, Guarantee):
+        return False
+    if guarantee.payment_id != automaton.config["payment_id"]:
+        return False
+    if guarantee.customer != automaton.name:
+        return False
+    expected = automaton.config.get("expected_guarantee_window")
+    if expected is not None and guarantee.d < expected - 1e-12:
+        return False
+    return guarantee.valid(automaton.config["keyring"])
+
+
+def promise_guard(automaton: Any, envelope: Envelope) -> bool:
+    """Accept ``P(a)`` iff signed by the expected escrow with an
+    acceptable window."""
+    promise = envelope.payload
+    if not isinstance(promise, PaymentPromise):
+        return False
+    if promise.payment_id != automaton.config["payment_id"]:
+        return False
+    if promise.customer != automaton.name:
+        return False
+    expected = automaton.config.get("expected_promise_window")
+    if expected is not None and promise.a < expected - 1e-12:
+        return False
+    return promise.valid(automaton.config["keyring"])
+
+
+def chi_guard(automaton: Any, envelope: Envelope) -> bool:
+    """Accept χ iff it verifies as issued by Bob for this payment."""
+    cert = envelope.payload
+    if not isinstance(cert, PaymentCertificate):
+        return False
+    if cert.payment_id != automaton.config["payment_id"]:
+        return False
+    return cert.valid(
+        automaton.config["keyring"],
+        expected_issuer=automaton.config["expected_issuer"],
+    )
+
+
+def money_note_guard(note: str):
+    """Build a guard matching a money notification with a given note."""
+
+    def guard(automaton: Any, envelope: Envelope) -> bool:
+        payload = envelope.payload
+        return isinstance(payload, dict) and payload.get("note") == note
+
+    return guard
+
+
+# -- actions ------------------------------------------------------------------
+
+
+def record_cert_received(automaton: Any, envelope: Envelope) -> None:
+    """Store a verified χ and record the receipt in the trace."""
+    automaton.vars["chi"] = envelope.payload
+    automaton.sim.trace.record(
+        automaton.sim.now,
+        TraceKind.CERT_RECEIVED,
+        automaton.name,
+        cert="chi",
+        frm=envelope.sender,
+    )
+
+
+def store_promise(automaton: Any, envelope: Envelope) -> None:
+    automaton.vars["promise"] = envelope.payload
+
+
+def store_guarantee(automaton: Any, envelope: Envelope) -> None:
+    automaton.vars["guarantee"] = envelope.payload
+
+
+# -- emits ---------------------------------------------------------------------
+
+
+def emit_money(automaton: Any) -> Tuple[List[SendSpec], str]:
+    """Grey state: deposit instruction to the downstream escrow."""
+    return (
+        [
+            SendSpec(
+                automaton.config["downstream_escrow"],
+                MsgKind.MONEY,
+                {"amount": automaton.config["send_amount"], "note": "deposit"},
+            )
+        ],
+        "await_outcome",
+    )
+
+
+def emit_forward_chi(automaton: Any) -> Tuple[List[SendSpec], str]:
+    """Grey state (Chloe): pass χ to the upstream escrow."""
+    return (
+        [
+            SendSpec(
+                automaton.config["upstream_escrow"],
+                MsgKind.CERTIFICATE,
+                automaton.vars["chi"],
+            )
+        ],
+        "await_money_back",
+    )
+
+
+def emit_issue_chi(automaton: Any) -> Tuple[List[SendSpec], str]:
+    """Grey state (Bob): sign χ — the irrevocable act CS2 talks about."""
+    cert = PaymentCertificate.issue(
+        identity=automaton.config["identity"],
+        payment_id=automaton.config["payment_id"],
+    )
+    automaton.vars["chi"] = cert
+    automaton.sim.trace.record(
+        automaton.sim.now, TraceKind.CERT_ISSUED, automaton.name, cert="chi"
+    )
+    return (
+        [SendSpec(automaton.config["upstream_escrow"], MsgKind.CERTIFICATE, cert)],
+        "await_money",
+    )
+
+
+# -- specs ----------------------------------------------------------------------
+
+
+def alice_spec(name: str, escrow: str) -> AutomatonSpec:
+    """Alice: G(d_0) → $ → (refund | χ)."""
+    spec = AutomatonSpec(name=name, initial="await_guarantee")
+    spec.add(
+        StateSpec(
+            name="await_guarantee",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.GUARANTEE,
+                    guard=guarantee_guard,
+                    action=store_guarantee,
+                    target="send_money",
+                    label=f"r({escrow}, G(d0))",
+                )
+            ],
+        )
+    )
+    spec.add(StateSpec(name="send_money", kind=StateKind.OUTPUT, emit=emit_money))
+    spec.add(
+        StateSpec(
+            name="await_outcome",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.MONEY,
+                    guard=money_note_guard("refund"),
+                    target="done_refunded",
+                    label=f"r({escrow}, $)",
+                ),
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.CERTIFICATE,
+                    guard=chi_guard,
+                    action=record_cert_received,
+                    target="done_paid",
+                    label=f"r({escrow}, chi)",
+                ),
+            ],
+        )
+    )
+    spec.add(StateSpec(name="done_refunded", kind=StateKind.FINAL))
+    spec.add(StateSpec(name="done_paid", kind=StateKind.FINAL))
+    return spec
+
+
+def chloe_spec(name: str, upstream_escrow: str, downstream_escrow: str) -> AutomatonSpec:
+    """Chloe_i: {G, P in either order} → $ → (refund | χ → money back)."""
+    spec = AutomatonSpec(name=name, initial="await_promises")
+    spec.add(
+        StateSpec(
+            name="await_promises",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=downstream_escrow,
+                    kind=MsgKind.GUARANTEE,
+                    guard=guarantee_guard,
+                    action=store_guarantee,
+                    target="await_promise_only",
+                    label=f"r({downstream_escrow}, G(di))",
+                ),
+                ReceiveSpec(
+                    frm=upstream_escrow,
+                    kind=MsgKind.PROMISE,
+                    guard=promise_guard,
+                    action=store_promise,
+                    target="await_guarantee_only",
+                    label=f"r({upstream_escrow}, P(a(i-1)))",
+                ),
+            ],
+        )
+    )
+    spec.add(
+        StateSpec(
+            name="await_promise_only",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=upstream_escrow,
+                    kind=MsgKind.PROMISE,
+                    guard=promise_guard,
+                    action=store_promise,
+                    target="send_money",
+                    label=f"r({upstream_escrow}, P(a(i-1)))",
+                )
+            ],
+        )
+    )
+    spec.add(
+        StateSpec(
+            name="await_guarantee_only",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=downstream_escrow,
+                    kind=MsgKind.GUARANTEE,
+                    guard=guarantee_guard,
+                    action=store_guarantee,
+                    target="send_money",
+                    label=f"r({downstream_escrow}, G(di))",
+                )
+            ],
+        )
+    )
+    spec.add(StateSpec(name="send_money", kind=StateKind.OUTPUT, emit=emit_money))
+    spec.add(
+        StateSpec(
+            name="await_outcome",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=downstream_escrow,
+                    kind=MsgKind.MONEY,
+                    guard=money_note_guard("refund"),
+                    target="done_refunded",
+                    label=f"r({downstream_escrow}, $)",
+                ),
+                ReceiveSpec(
+                    frm=downstream_escrow,
+                    kind=MsgKind.CERTIFICATE,
+                    guard=chi_guard,
+                    action=record_cert_received,
+                    target="forward_chi",
+                    label=f"r({downstream_escrow}, chi)",
+                ),
+            ],
+        )
+    )
+    spec.add(StateSpec(name="forward_chi", kind=StateKind.OUTPUT, emit=emit_forward_chi))
+    spec.add(
+        StateSpec(
+            name="await_money_back",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=upstream_escrow,
+                    kind=MsgKind.MONEY,
+                    guard=money_note_guard("payment"),
+                    target="done_paid",
+                    label=f"r({upstream_escrow}, $)",
+                )
+            ],
+        )
+    )
+    spec.add(StateSpec(name="done_refunded", kind=StateKind.FINAL))
+    spec.add(StateSpec(name="done_paid", kind=StateKind.FINAL))
+    return spec
+
+
+def bob_spec(name: str, escrow: str) -> AutomatonSpec:
+    """Bob: P(a_{n-1}) → sign χ → await $."""
+    spec = AutomatonSpec(name=name, initial="await_promise")
+    spec.add(
+        StateSpec(
+            name="await_promise",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.PROMISE,
+                    guard=promise_guard,
+                    action=store_promise,
+                    target="issue_chi",
+                    label=f"r({escrow}, P(a(n-1)))",
+                )
+            ],
+        )
+    )
+    spec.add(StateSpec(name="issue_chi", kind=StateKind.OUTPUT, emit=emit_issue_chi))
+    spec.add(
+        StateSpec(
+            name="await_money",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.MONEY,
+                    guard=money_note_guard("payment"),
+                    target="done_paid",
+                    label=f"r({escrow}, $)",
+                )
+            ],
+        )
+    )
+    spec.add(StateSpec(name="done_paid", kind=StateKind.FINAL))
+    return spec
+
+
+__all__ = [
+    "alice_spec",
+    "bob_spec",
+    "chi_guard",
+    "chloe_spec",
+    "emit_forward_chi",
+    "emit_issue_chi",
+    "emit_money",
+    "guarantee_guard",
+    "money_note_guard",
+    "promise_guard",
+    "record_cert_received",
+    "store_guarantee",
+    "store_promise",
+]

@@ -1,0 +1,197 @@
+"""Assembly of the time-bounded protocol (Theorem 1).
+
+Creates one :class:`~repro.anta.automaton.TimedAutomaton` per
+participant from the Figure 2 specs, computes the timeout windows
+``a_i`` / ``d_i`` with the drift-tuned calculus (or the naive one, for
+the E2 ablation), applies Byzantine spec transforms where the session
+asks for them, and registers everything with the network.
+
+Options (``protocol_options`` of the session)
+---------------------------------------------
+``delta``:
+    Message-delay bound Δ fed to the calculus.  Defaults to the timing
+    model's ``known_bound``; **required** when the model publishes none
+    (running this protocol under partial synchrony — exactly what
+    Theorem 2 says cannot work — forces you to *assume* some Δ).
+``epsilon``:
+    Processing bound ε (default ``0.05``); also used as the automata's
+    actual grey-state processing bound unless ``processing_bound``
+    overrides it.
+``rho``:
+    Drift bound fed to the calculus; defaults to the session's clock
+    sampling bound, so by default the calculus matches reality.
+``drift_tuned``:
+    ``True`` (default) = the paper's fine-tuned windows;
+    ``False`` = the naive windows of the prior work.
+``margin``:
+    Extra slack added to every window.
+``processing_floor``:
+    Lower bound on grey-state processing (set equal to ``epsilon`` for
+    deterministic worst-case processing in boundary experiments).
+``no_timeout``:
+    Strip the escrows' refund timeouts — the "wait forever" end of the
+    protocol family that Theorem 2's impossibility argument quantifies
+    over (experiment E3's second horn).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...anta.automaton import TimedAutomaton
+from ...byzantine.behaviors import apply_behavior
+from ...core.params import TimingAssumptions, compute_params
+from ...errors import ProtocolError
+from ..base import PaymentProtocol, register_protocol
+from .customer import alice_spec, bob_spec, chloe_spec
+from .escrow import escrow_spec
+
+
+@register_protocol
+class TimeBoundedProtocol(PaymentProtocol):
+    """The universal protocol fine-tuned for clock drift (paper §4)."""
+
+    name = "timebounded"
+
+    def build(self) -> None:
+        env = self.env
+        topo = env.topology
+        delta = self.option("delta", env.network.timing.known_bound)
+        if delta is None:
+            raise ProtocolError(
+                "timebounded protocol needs a delay bound: the timing model "
+                "publishes none, so pass protocol_options={'delta': ...}"
+            )
+        epsilon = float(self.option("epsilon", 0.05))
+        rho = float(self.option("rho", env.config.get("rho", 0.0)))
+        drift_tuned = bool(self.option("drift_tuned", True))
+        margin = float(self.option("margin", 0.0))
+        processing_bound = float(self.option("processing_bound", epsilon))
+        self._processing_floor = float(self.option("processing_floor", 0.0))
+        self._no_timeout = bool(self.option("no_timeout", False))
+
+        assumptions = TimingAssumptions(delta=float(delta), epsilon=epsilon, rho=rho)
+        self.params = compute_params(
+            topo.n_escrows, assumptions, drift_tuned=drift_tuned, margin=margin
+        )
+
+        for i in range(topo.n_escrows):
+            self._build_escrow(i, processing_bound)
+        self._build_alice(processing_bound)
+        for i in range(1, topo.n_escrows):
+            self._build_chloe(i, processing_bound)
+        self._build_bob(processing_bound)
+
+    # -- per-role builders ---------------------------------------------------
+
+    def _make(self, name: str, spec, ctx: Dict[str, Any], config: Dict[str, Any],
+              processing_bound: float) -> TimedAutomaton:
+        env = self.env
+        behavior = env.byzantine_behavior(name)
+        if behavior is not None:
+            spec = apply_behavior(spec, behavior, ctx)
+        automaton = TimedAutomaton(
+            sim=env.sim,
+            name=name,
+            spec=spec,
+            network=env.network,
+            clock=env.clock_of(name),
+            processing_bound=processing_bound,
+            processing_floor=min(self._processing_floor, processing_bound),
+            config=config,
+        )
+        self.add_participant(automaton)
+        return automaton
+
+    def _build_escrow(self, i: int, processing_bound: float) -> None:
+        env = self.env
+        topo = env.topology
+        name = topo.escrow(i)
+        upstream = topo.upstream_customer(i)
+        downstream = topo.downstream_customer(i)
+        config = {
+            "index": i,
+            "upstream": upstream,
+            "downstream": downstream,
+            "a_i": self.params.a_i(i),
+            "d_i": self.params.d_i(i),
+            "amount": topo.amount_at(i),
+            "ledger": env.ledgers[name],
+            "identity": env.identity_of(name),
+            "keyring": env.keyring,
+            "payment_id": topo.payment_id,
+            "expected_issuer": topo.bob,
+        }
+        ctx = {"role": "escrow", **config}
+        spec = escrow_spec(name, upstream, downstream)
+        if self._no_timeout:
+            # Protocol *variant* (not a fault): escrows wait forever for
+            # χ — the family member Theorem 2 defeats via non-termination.
+            state = spec.states["await_certificate"]
+            state.timeouts.clear()
+        self._make(name, spec, ctx, config, processing_bound)
+
+    def _build_alice(self, processing_bound: float) -> None:
+        env = self.env
+        topo = env.topology
+        name = topo.alice
+        escrow = topo.escrow(0)
+        config = {
+            "index": 0,
+            "payment_id": topo.payment_id,
+            "keyring": env.keyring,
+            "identity": env.identity_of(name),
+            "downstream_escrow": escrow,
+            "send_amount": topo.amount_at(0),
+            "expected_guarantee_window": self.params.d_i(0),
+            "expected_issuer": topo.bob,
+        }
+        ctx = {"role": "alice", "upstream_escrow": escrow, **config}
+        self._make(name, alice_spec(name, escrow), ctx, config, processing_bound)
+
+    def _build_chloe(self, i: int, processing_bound: float) -> None:
+        env = self.env
+        topo = env.topology
+        name = topo.customer(i)
+        upstream_escrow = topo.escrow(i - 1)
+        downstream_escrow = topo.escrow(i)
+        config = {
+            "index": i,
+            "payment_id": topo.payment_id,
+            "keyring": env.keyring,
+            "identity": env.identity_of(name),
+            "upstream_escrow": upstream_escrow,
+            "downstream_escrow": downstream_escrow,
+            "send_amount": topo.amount_at(i),
+            "expected_guarantee_window": self.params.d_i(i),
+            "expected_promise_window": self.params.a_i(i - 1),
+            "expected_issuer": topo.bob,
+        }
+        ctx = {"role": "chloe", **config}
+        self._make(
+            name,
+            chloe_spec(name, upstream_escrow, downstream_escrow),
+            ctx,
+            config,
+            processing_bound,
+        )
+
+    def _build_bob(self, processing_bound: float) -> None:
+        env = self.env
+        topo = env.topology
+        name = topo.bob
+        escrow = topo.escrow(topo.n_escrows - 1)
+        config = {
+            "index": topo.n_escrows,
+            "payment_id": topo.payment_id,
+            "keyring": env.keyring,
+            "identity": env.identity_of(name),
+            "upstream_escrow": escrow,
+            "expected_promise_window": self.params.a_i(topo.n_escrows - 1),
+            "expected_issuer": name,
+        }
+        ctx = {"role": "bob", **config}
+        self._make(name, bob_spec(name, escrow), ctx, config, processing_bound)
+
+
+__all__ = ["TimeBoundedProtocol"]

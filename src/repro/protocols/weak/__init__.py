@@ -1,0 +1,28 @@
+"""The Theorem 3 protocol: weak liveness under partial synchrony with a
+pluggable transaction manager."""
+
+from .customer import WeakCustomer
+from .escrow import WeakEscrow
+from .protocol import WeakLivenessProtocol
+from .tm import (
+    CommitteeBackend,
+    ContractBackend,
+    DecisionListener,
+    TMBackend,
+    TrustedPartyBackend,
+    VerifiedDecision,
+    make_backend,
+)
+
+__all__ = [
+    "CommitteeBackend",
+    "ContractBackend",
+    "DecisionListener",
+    "TMBackend",
+    "TrustedPartyBackend",
+    "VerifiedDecision",
+    "WeakCustomer",
+    "WeakEscrow",
+    "WeakLivenessProtocol",
+    "make_backend",
+]

@@ -1,0 +1,271 @@
+"""Customers for the weak-liveness protocol (Theorem 3).
+
+Every customer "can, at any moment of their choice, lose patience and
+abort the transaction, without a risk of losing value" (paper §3).  We
+expose that choice as two patience windows, measured on the customer's
+*local* clock:
+
+``patience_setup``:
+    how long to wait for her escrow's conditional guarantee before
+    requesting an abort;
+``patience_decision``:
+    how long to wait, after depositing, for the decision before
+    requesting an abort.
+
+``None`` means infinite patience (the customer never aborts on her own).
+Weak liveness (property L of Definition 2) says: if everyone's patience
+exceeds the actual delays, Bob is paid.
+
+Roles
+-----
+* Alice and the connectors: wait for the guarantee, deposit, await the
+  decision (commit ⇒ Alice holds χc; connectors await the released
+  money from their upstream escrow; abort ⇒ deposit refunded).
+* Bob: waits for his escrow's "escrowed for you" notice, then asks the
+  TM to commit; on commit he awaits the money, on abort he holds χa.
+
+Byzantine variants (selected via the session's ``byzantine`` map):
+``"never_deposit"``, ``"abort_immediately"``, ``"bob_never_commit"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...clocks import DriftingClock, PERFECT_CLOCK
+from ...crypto.certificates import Decision
+from ...crypto.signatures import SignedClaim
+from ...ledger.asset import Amount
+from ...ledger.ledger import Ledger
+from ...net.message import Envelope, MsgKind
+from ...sim.process import Process
+from ...sim.trace import TraceKind
+from .tm import DecisionListener, TMBackend, VerifiedDecision
+
+
+class WeakCustomer(Process):
+    """One customer of the weak-liveness protocol.
+
+    Parameters
+    ----------
+    role:
+        ``"alice"``, ``"connector"``, or ``"bob"``.
+    deposit_escrow / deposit_amount:
+        Where and what this customer deposits (``None`` for Bob).
+    incoming_escrow:
+        The escrow expected to pay this customer on commit (``None``
+        for Alice).
+    behavior:
+        ``None`` for honest; ``"never_deposit"``, ``"abort_immediately"``
+        or ``"bob_never_commit"`` for Byzantine deviations.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        name: str,
+        network: Any,
+        keyring: Any,
+        identity: Any,
+        payment_id: str,
+        role: str,
+        backend: TMBackend,
+        listener: DecisionListener,
+        deposit_escrow: Optional[str] = None,
+        deposit_amount: Optional[Amount] = None,
+        deposit_ledger: Optional[Ledger] = None,
+        incoming_escrow: Optional[str] = None,
+        clock: DriftingClock = PERFECT_CLOCK,
+        patience_setup: Optional[float] = None,
+        patience_decision: Optional[float] = None,
+        behavior: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.network = network
+        self.keyring = keyring
+        self.identity = identity
+        self.payment_id = payment_id
+        self.role = role
+        self.backend = backend
+        self.listener = listener
+        self.deposit_escrow = deposit_escrow
+        self.deposit_amount = deposit_amount
+        self.deposit_ledger = deposit_ledger
+        self.incoming_escrow = incoming_escrow
+        self.clock = clock
+        self.patience_setup = patience_setup
+        self.patience_decision = patience_decision
+        self.behavior = behavior
+        self.deposited = False
+        self._balance_before_deposit: Optional[int] = None
+        self.aborted_requested = False
+        self.decision_seen: Optional[VerifiedDecision] = None
+        self.money_received = False
+        self.refund_received = False
+
+    # -- local time ---------------------------------------------------------
+
+    @property
+    def now_local(self) -> float:
+        return self.clock.local_time(self.sim.now)
+
+    def _arm_patience(self, timer_id: str, patience: Optional[float]) -> None:
+        if patience is None:
+            return
+        deadline_local = self.now_local + patience
+        self.set_timer_at(timer_id, self.clock.global_time(deadline_local))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.behavior == "abort_immediately":
+            self._request_abort()
+            return
+        if self.role == "bob":
+            return  # Bob waits for his escrow's notice
+        self._arm_patience("setup", self.patience_setup)
+
+    def on_timer(self, timer_id: str) -> None:
+        if timer_id in ("setup", "decision") and self.decision_seen is None:
+            self._request_abort()
+
+    def _request_abort(self) -> None:
+        if self.aborted_requested or self.decision_seen is not None:
+            return
+        self.aborted_requested = True
+        self.note("lost patience, requesting abort")
+        claim = SignedClaim.make(
+            self.identity, payment_id=self.payment_id, kind="abort_request"
+        )
+        self.backend.report(self, MsgKind.ABORT_REQUEST, claim)
+
+    # -- messages ------------------------------------------------------------------
+
+    def handle_message(self, message: Envelope) -> None:
+        decision = self.listener.extract(message)
+        if decision is not None:
+            self._on_decision(decision)
+            return
+        if message.kind is MsgKind.GUARANTEE and message.sender == self.deposit_escrow:
+            self._on_guarantee(message)
+        elif message.kind is MsgKind.PROMISE and self.role == "bob":
+            self._on_bob_notice(message)
+        elif message.kind is MsgKind.MONEY:
+            self._on_money(message)
+
+    def _on_guarantee(self, message: Envelope) -> None:
+        claim = message.payload
+        if not isinstance(claim, SignedClaim):
+            return
+        if not claim.valid(self.keyring, expected_signer=self.deposit_escrow):
+            return
+        if claim.get("payment_id") != self.payment_id or self.deposited:
+            return
+        if self.decision_seen is not None or self.behavior == "never_deposit":
+            return
+        if self.aborted_requested:
+            # Having asked for an abort (lost patience, or the
+            # abort-immediately deviation), a customer does not then put
+            # money at risk.
+            return
+        self.cancel_timer("setup")
+        self.deposited = True
+        if self.deposit_ledger is not None and self.deposit_amount is not None:
+            self._balance_before_deposit = self.deposit_ledger.balance(
+                self.name, self.deposit_amount.asset
+            ).units
+        self.network.send(
+            self,
+            self.deposit_escrow,
+            MsgKind.MONEY,
+            {"amount": self.deposit_amount, "note": "deposit"},
+        )
+        self._arm_patience("decision", self.patience_decision)
+
+    def _on_bob_notice(self, message: Envelope) -> None:
+        claim = message.payload
+        if not isinstance(claim, SignedClaim):
+            return
+        if message.sender != self.incoming_escrow:
+            return
+        if not claim.valid(self.keyring, expected_signer=self.incoming_escrow):
+            return
+        if claim.get("payment_id") != self.payment_id:
+            return
+        if self.behavior == "bob_never_commit":
+            return
+        if self.decision_seen is None:
+            request = SignedClaim.make(
+                self.identity, payment_id=self.payment_id, kind="commit_request"
+            )
+            self.backend.report(self, MsgKind.COMMIT_REQUEST, request)
+            self._arm_patience("decision", self.patience_decision)
+
+    def _on_money(self, message: Envelope) -> None:
+        payload = message.payload
+        if not isinstance(payload, dict):
+            return
+        note = payload.get("note")
+        if note == "payment" and message.sender == self.incoming_escrow:
+            self.money_received = True
+        elif note == "refund" and message.sender == self.deposit_escrow:
+            self.refund_received = True
+        self._maybe_finish()
+
+    # -- decisions ----------------------------------------------------------------------
+
+    def _on_decision(self, decision: VerifiedDecision) -> None:
+        if self.decision_seen is not None:
+            return
+        self.decision_seen = decision
+        self.cancel_timer("setup")
+        self.cancel_timer("decision")
+        self.sim.trace.record(
+            self.sim.now,
+            TraceKind.CERT_RECEIVED,
+            self.name,
+            cert=decision.decision.value,
+        )
+        self._maybe_finish()
+
+    def _deposit_outstanding(self) -> bool:
+        """Whether money actually left this customer's account.
+
+        A customer trusts — and holds an account at — her deposit
+        escrow, so checking her own ledger balance is legitimate.  An
+        in-flight deposit that the escrow never locked (e.g. it decided
+        abort first) leaves the balance untouched: nothing to wait for.
+        """
+        if not self.deposited:
+            return False
+        if (
+            self.deposit_ledger is None
+            or self.deposit_amount is None
+            or self._balance_before_deposit is None
+        ):
+            return True  # cannot check; assume outstanding
+        current = self.deposit_ledger.balance(
+            self.name, self.deposit_amount.asset
+        ).units
+        return current < self._balance_before_deposit
+
+    def _maybe_finish(self) -> None:
+        """Terminate once the decision arrived and the money settled.
+
+        commit: a customer expecting incoming money waits for it; Alice
+        (no incoming escrow) terminates on χc alone.
+        abort: a customer whose deposit actually left her account waits
+        for the refund; everyone else terminates on the certificate.
+        """
+        if self.decision_seen is None:
+            return
+        if self.decision_seen.decision is Decision.COMMIT:
+            if self.incoming_escrow is not None and not self.money_received:
+                return
+            self.terminate(reason="committed")
+        else:
+            if self.refund_received or not self._deposit_outstanding():
+                self.terminate(reason="aborted")
+
+
+__all__ = ["WeakCustomer"]

@@ -1,0 +1,112 @@
+"""Assembly of the weak-liveness protocol (Theorem 3).
+
+Options (``protocol_options`` of the session)
+---------------------------------------------
+``tm``:
+    Transaction-manager backend: ``"trusted"`` (default),
+    ``"contract"``, ``"committee"``, a ``(name, kwargs)`` tuple, or a
+    ready :class:`~repro.protocols.weak.tm.TMBackend` instance.
+``patience_setup`` / ``patience_decision``:
+    Default patience windows (local-clock durations) applied to every
+    customer; ``None`` = infinite.
+``patience_overrides``:
+    Map customer name -> ``(patience_setup, patience_decision)``.
+
+Byzantine map values understood by this protocol:
+``"never_deposit"``, ``"abort_immediately"``, ``"bob_never_commit"``
+for customers; the TM's own faults are configured on the backend
+(``TrustedPartyBackend(equivocate=True)``, committee ``byzantine=...``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ...errors import ProtocolError
+from ..base import PaymentProtocol, register_protocol
+from .customer import WeakCustomer
+from .escrow import WeakEscrow
+from .tm import TMBackend, make_backend
+
+
+@register_protocol
+class WeakLivenessProtocol(PaymentProtocol):
+    """Cross-chain payment with weak liveness guarantees (Definition 2)."""
+
+    name = "weak"
+
+    def build(self) -> None:
+        env = self.env
+        topo = env.topology
+        self.backend: TMBackend = make_backend(self.option("tm", "trusted"))
+        self.backend.build(self)
+
+        default_patience: Tuple[Optional[float], Optional[float]] = (
+            self.option("patience_setup", None),
+            self.option("patience_decision", None),
+        )
+        overrides: Dict[str, Tuple[Optional[float], Optional[float]]] = dict(
+            self.option("patience_overrides", {})
+        )
+
+        for i in range(topo.n_escrows):
+            name = topo.escrow(i)
+            escrow = WeakEscrow(
+                sim=env.sim,
+                name=name,
+                network=env.network,
+                keyring=env.keyring,
+                identity=env.identity_of(name),
+                ledger=env.ledgers[name],
+                payment_id=topo.payment_id,
+                upstream=topo.upstream_customer(i),
+                downstream=topo.downstream_customer(i),
+                amount=topo.amount_at(i),
+                backend=self.backend,
+                listener=self.backend.make_listener(),
+                notify_beneficiary=topo.bob if i == topo.n_escrows - 1 else None,
+            )
+            self.add_participant(escrow)
+
+        for i in range(topo.n_customers):
+            name = topo.customer(i)
+            patience = overrides.get(name, default_patience)
+            behavior = env.byzantine_behavior(name)
+            if behavior is not None and not isinstance(behavior, str):
+                raise ProtocolError(
+                    "weak protocol expects string Byzantine behaviours for "
+                    f"customers, got {behavior!r} for {name}"
+                )
+            if i == 0:
+                role, deposit_escrow, incoming = "alice", topo.escrow(0), None
+            elif i == topo.n_escrows:
+                role, deposit_escrow, incoming = "bob", None, topo.escrow(i - 1)
+            else:
+                role, deposit_escrow, incoming = (
+                    "connector",
+                    topo.escrow(i),
+                    topo.escrow(i - 1),
+                )
+            customer = WeakCustomer(
+                sim=env.sim,
+                name=name,
+                network=env.network,
+                keyring=env.keyring,
+                identity=env.identity_of(name),
+                payment_id=topo.payment_id,
+                role=role,
+                backend=self.backend,
+                listener=self.backend.make_listener(),
+                deposit_escrow=deposit_escrow,
+                deposit_amount=topo.amount_at(i) if deposit_escrow else None,
+                deposit_ledger=env.ledgers[deposit_escrow] if deposit_escrow else None,
+                incoming_escrow=incoming,
+                clock=env.clock_of(name),
+                patience_setup=patience[0],
+                patience_decision=patience[1],
+                behavior=behavior,
+            )
+            self.add_participant(customer)
+
+
+__all__ = ["WeakLivenessProtocol"]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel.
+
+The substrate every other subsystem runs on: a deterministic sequential
+event loop (:class:`Simulator`), actors (:class:`Process`), structured
+tracing (:class:`TraceRecorder`), and reproducible named random streams
+(:class:`RngRegistry`).
+"""
+
+from .events import Event, EventPriority, make_event
+from .kernel import Simulator
+from .process import Process
+from .queue import EventQueue
+from .rng import RngRegistry, RngStream, derive_seed
+from .trace import TraceEvent, TraceKind, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventPriority",
+    "EventQueue",
+    "Process",
+    "RngRegistry",
+    "RngStream",
+    "Simulator",
+    "TraceEvent",
+    "TraceKind",
+    "TraceRecorder",
+    "derive_seed",
+    "make_event",
+]

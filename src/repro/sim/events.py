@@ -1,0 +1,116 @@
+"""Event records for the discrete-event simulation kernel.
+
+An :class:`Event` is an immutable-ish record of *something that will
+happen*: a callback to invoke at a given simulated time.  Events are
+totally ordered by ``(time, priority, seq)`` where ``seq`` is a
+monotonically increasing sequence number assigned at scheduling time.
+The sequence number guarantees a *deterministic* ordering even when many
+events share a timestamp — a crucial property for reproducible
+simulations (same seed, same trace).
+
+Events support O(1) cancellation: cancelling marks the event dead and
+the queue discards it lazily when popped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Optional, Tuple
+
+
+class EventPriority(IntEnum):
+    """Priority classes used to break ties between same-time events.
+
+    Lower numeric value runs first.  The classes encode the *causal
+    layering* of a simulation step: message deliveries happen before
+    timer expirations at the same instant (a message arriving exactly at
+    a deadline is still "in time"), and bookkeeping (monitors, stop
+    checks) runs last.
+    """
+
+    URGENT = 0
+    DELIVERY = 10
+    TIMER = 20
+    INTERNAL = 30
+    MONITOR = 40
+
+    @classmethod
+    def validate(cls, value: int) -> int:
+        """Return ``value`` unchanged; any int is a legal priority."""
+        return int(value)
+
+
+#: Global sequence counter shared by all simulators in a process.  Using
+#: a single counter keeps event identity unique across simulators, which
+#: simplifies debugging of multi-simulator tests; determinism within one
+#: simulator only depends on the *relative* order of its own events.
+_SEQ = itertools.count()
+
+
+@dataclass(eq=False)
+class Event:
+    """A scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulated (global) time at which the callback fires.
+    priority:
+        Tie-break class; see :class:`EventPriority`.
+    fn:
+        Zero-argument-compatible callable invoked when the event fires.
+        Positional arguments may be captured in ``args``.
+    args:
+        Positional arguments passed to ``fn``.
+    label:
+        Free-form debugging label recorded in traces.
+    """
+
+    time: float
+    priority: int
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    label: str = ""
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    cancelled: bool = False
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Total-order key: time, then priority, then insertion order."""
+        return (self.time, self.priority, self.seq)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue discards it when popped."""
+        self.cancelled = True
+
+    @property
+    def alive(self) -> bool:
+        """Whether the event will still fire when its time comes."""
+        return not self.cancelled
+
+    def fire(self) -> Any:
+        """Invoke the callback.  The kernel calls this; tests may too."""
+        return self.fn(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "alive"
+        name = self.label or getattr(self.fn, "__name__", "fn")
+        return f"Event(t={self.time:.6g}, prio={self.priority}, {name}, {state})"
+
+
+def make_event(
+    time: float,
+    fn: Callable[..., Any],
+    *args: Any,
+    priority: int = EventPriority.INTERNAL,
+    label: str = "",
+) -> Event:
+    """Convenience constructor mirroring :meth:`Simulator.schedule_at`."""
+    return Event(time=time, priority=int(priority), fn=fn, args=args, label=label)
+
+
+__all__ = ["Event", "EventPriority", "make_event"]

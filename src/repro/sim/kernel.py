@@ -1,0 +1,206 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` advances a virtual *global* clock by executing events
+in ``(time, priority, seq)`` order.  The kernel is deliberately small:
+everything domain-specific (networks, clocks, automata, ledgers) is
+layered on top of ``schedule`` / ``cancel`` / ``run``.
+
+Determinism contract
+--------------------
+Given the same initial schedule and the same callbacks (which may draw
+randomness only from :class:`~repro.sim.rng.RngRegistry` streams), two
+runs produce byte-identical traces.  This is what makes the experiment
+suite reproducible and the bounded explorer sound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import SchedulingError, SimulationError
+from .events import Event, EventPriority
+from .queue import EventQueue
+from .rng import RngRegistry
+from .trace import TraceRecorder
+
+
+class Simulator:
+    """Sequential discrete-event simulator with a deterministic order.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulation's random streams.
+    trace:
+        Optional externally owned recorder; a fresh one is created if
+        omitted.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self._executed = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._stop_conditions: List[Callable[["Simulator"], bool]] = []
+
+    # -- time ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current global simulated time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events fired so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.INTERNAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        Raises
+        ------
+        SchedulingError
+            If ``delay`` is negative or not finite.
+        """
+        if not (delay >= 0.0):  # also rejects NaN
+            raise SchedulingError(f"negative or NaN delay: {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = EventPriority.INTERNAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute global ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule in the past: t={time!r} < now={self._now!r}"
+            )
+        if time != time or time == float("inf"):
+            raise SchedulingError(f"non-finite event time: {time!r}")
+        event = Event(time=time, priority=int(priority), fn=fn, args=args, label=label)
+        self._queue.push(event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if event.alive:
+            event.cancel()
+            self._queue.note_cancelled(event)
+
+    # -- stop conditions -------------------------------------------------
+
+    def add_stop_condition(self, predicate: Callable[["Simulator"], bool]) -> None:
+        """Stop the run loop as soon as ``predicate(self)`` is true.
+
+        Conditions are evaluated after every executed event.
+        """
+        self._stop_conditions.append(predicate)
+
+    def stop(self) -> None:
+        """Request the run loop to halt after the current event."""
+        self._stopped = True
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute exactly one event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event was executed, ``False`` if the queue
+            was empty.
+        """
+        try:
+            event = self._queue.pop()
+        except IndexError:
+            return False
+        if event.time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue yielded an event from the past")
+        self._now = event.time
+        self._executed += 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the queue empties, ``until`` is reached, or stopped.
+
+        Parameters
+        ----------
+        until:
+            Inclusive global-time horizon.  Events scheduled strictly
+            after ``until`` remain pending; the clock is advanced to
+            ``until`` when the horizon is the binding constraint.
+        max_events:
+            Upper bound on events executed in this call (safety valve
+            against livelock in adversarial scenarios).
+
+        Returns
+        -------
+        int
+            Number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed_before = self._executed
+        try:
+            while not self._stopped:
+                if max_events is not None and self._executed - executed_before >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = max(self._now, until)
+                    break
+                self.step()
+                if self._stop_conditions and any(
+                    cond(self) for cond in self._stop_conditions
+                ):
+                    break
+        finally:
+            self._running = False
+        return self._executed - executed_before
+
+    # -- introspection ----------------------------------------------------
+
+    def pending(self) -> List[Event]:
+        """Live events sorted by firing order (copy)."""
+        return self._queue.snapshot_sorted()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6g}, pending={len(self._queue)}, "
+            f"executed={self._executed})"
+        )
+
+
+__all__ = ["Simulator"]

@@ -1,0 +1,151 @@
+"""Process abstraction: named simulation actors with timers.
+
+A :class:`Process` is anything that lives inside a simulation under a
+stable name: an escrow, a customer, a transaction manager, a notary.
+It offers
+
+* ``handle_message(msg)`` — the network delivers here;
+* ``set_timer`` / ``cancel_timer`` — named timers in *global* time
+  (clock-local timers are layered on top by :mod:`repro.anta`);
+* a ``terminated`` flag plus trace integration.
+
+Processes deliberately do not subclass anything from :mod:`threading` —
+the simulation is sequential and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import SimulationError
+from .events import Event, EventPriority
+from .kernel import Simulator
+from .trace import TraceKind
+
+
+class Process:
+    """Base class for simulation actors.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Unique, stable identifier used for routing and traces.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.terminated = False
+        self._timers: Dict[str, Event] = {}
+
+    # -- messaging (filled in by the network layer) ---------------------
+
+    def handle_message(self, message: Any) -> None:
+        """Receive a delivered message.  Subclasses override."""
+
+    # -- timers ----------------------------------------------------------
+
+    def set_timer(
+        self,
+        timer_id: str,
+        delay: float,
+        *,
+        priority: int = EventPriority.TIMER,
+    ) -> Event:
+        """(Re)arm a named timer ``delay`` global-time units from now.
+
+        Re-arming an existing timer cancels the previous instance, so a
+        timer id always refers to at most one pending expiration.
+        """
+        self.cancel_timer(timer_id)
+        event = self.sim.schedule(
+            delay,
+            self._fire_timer,
+            timer_id,
+            priority=priority,
+            label=f"{self.name}.timer.{timer_id}",
+        )
+        self._timers[timer_id] = event
+        return event
+
+    def set_timer_at(
+        self,
+        timer_id: str,
+        time: float,
+        *,
+        priority: int = EventPriority.TIMER,
+    ) -> Event:
+        """(Re)arm a named timer at absolute global ``time``.
+
+        A timer models the condition ``now >= time``; arming it after
+        ``time`` has already passed means the condition is already true,
+        so the timer fires immediately (at the current instant).
+        """
+        self.cancel_timer(timer_id)
+        event = self.sim.schedule_at(
+            max(time, self.sim.now),
+            self._fire_timer,
+            timer_id,
+            priority=priority,
+            label=f"{self.name}.timer.{timer_id}",
+        )
+        self._timers[timer_id] = event
+        return event
+
+    def cancel_timer(self, timer_id: str) -> bool:
+        """Cancel a named timer; ``True`` if one was pending."""
+        event = self._timers.pop(timer_id, None)
+        if event is not None and event.alive:
+            self.sim.cancel(event)
+            return True
+        return False
+
+    def cancel_all_timers(self) -> None:
+        """Cancel every pending timer owned by this process."""
+        for timer_id in list(self._timers):
+            self.cancel_timer(timer_id)
+
+    def timer_pending(self, timer_id: str) -> bool:
+        """Whether the named timer is armed."""
+        event = self._timers.get(timer_id)
+        return event is not None and event.alive
+
+    def _fire_timer(self, timer_id: str) -> None:
+        self._timers.pop(timer_id, None)
+        if not self.terminated:
+            self.on_timer(timer_id)
+
+    def on_timer(self, timer_id: str) -> None:
+        """Timer expiration hook.  Subclasses override."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Initial action hook, called once when the session starts."""
+
+    def terminate(self, reason: str = "") -> None:
+        """Mark the process terminated and cancel its timers.
+
+        Termination is recorded in the trace; repeated calls are
+        ignored so protocol code can call it defensively.
+        """
+        if self.terminated:
+            return
+        self.terminated = True
+        self.cancel_all_timers()
+        self.sim.trace.record(
+            self.sim.now, TraceKind.TERMINATE, self.name, reason=reason
+        )
+
+    def note(self, text: str, **data: Any) -> None:
+        """Record a free-form annotation in the trace."""
+        self.sim.trace.record(self.sim.now, TraceKind.NOTE, self.name, text=text, **data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "terminated" if self.terminated else "active"
+        return f"{type(self).__name__}({self.name!r}, {status})"
+
+
+__all__ = ["Process"]

@@ -1,0 +1,97 @@
+"""A stable binary-heap event queue with lazy cancellation.
+
+The queue stores :class:`~repro.sim.events.Event` objects ordered by
+``(time, priority, seq)``.  Cancellation is O(1) (mark-dead); dead
+events are skipped on pop.  ``peek_time`` lets the kernel look ahead
+without committing to the pop, which the bounded explorer uses to
+enumerate frontier events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional
+
+from .events import Event
+
+
+class EventQueue:
+    """Min-heap of events with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event`` and return it (for chaining)."""
+        heapq.heappush(self._heap, event)
+        if event.alive:
+            self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.alive:
+                self._live -= 1
+                return event
+        raise IndexError("pop from empty EventQueue")
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest live event without removing it."""
+        self._compact_head()
+        return self._heap[0] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        head = self.peek()
+        return head.time if head is not None else None
+
+    def note_cancelled(self, event: Event) -> None:
+        """Record that a previously pushed event was cancelled.
+
+        The kernel calls this from :meth:`Simulator.cancel` so the live
+        count stays accurate; the heap entry itself is discarded lazily.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop all events (cancelled ones included)."""
+        self._heap.clear()
+        self._live = 0
+
+    def iter_pending(self) -> Iterator[Event]:
+        """Iterate live events in *heap* order (not sorted).
+
+        Useful for inspection and for the explorer's frontier
+        enumeration; callers needing sorted order should sort by
+        :meth:`Event.sort_key`.
+        """
+        return (e for e in self._heap if e.alive)
+
+    def snapshot_sorted(self) -> List[Event]:
+        """All live events sorted by firing order (copy)."""
+        return sorted(self.iter_pending(), key=Event.sort_key)
+
+    def _compact_head(self) -> None:
+        """Discard cancelled events sitting at the heap root."""
+        while self._heap and not self._heap[0].alive:
+            heapq.heappop(self._heap)
+
+
+__all__ = ["EventQueue"]

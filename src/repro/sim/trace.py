@@ -1,0 +1,183 @@
+"""Structured trace recording.
+
+Every observable action in a simulation — message send/receive, value
+transfer, certificate issuance, state change, protocol decision — is
+appended to a :class:`TraceRecorder` as a :class:`TraceEvent`.  Property
+checkers (:mod:`repro.properties`) are *trace predicates*: they read the
+finished trace plus the final ledger state and return verdicts.  Keeping
+the trace structured (kind + actor + payload dict) rather than textual
+makes those predicates precise and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class TraceKind(str, Enum):
+    """Categories of trace events."""
+
+    SEND = "send"
+    RECEIVE = "receive"
+    DROP = "drop"
+    TRANSFER = "transfer"
+    ESCROW_DEPOSIT = "escrow_deposit"
+    ESCROW_RELEASE = "escrow_release"
+    ESCROW_REFUND = "escrow_refund"
+    CERT_ISSUED = "cert_issued"
+    CERT_RECEIVED = "cert_received"
+    STATE = "state"
+    TIMEOUT = "timeout"
+    DECIDE = "decide"
+    TERMINATE = "terminate"
+    FAULT = "fault"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded observation.
+
+    Attributes
+    ----------
+    time:
+        Global simulated time of the observation.
+    kind:
+        Category; see :class:`TraceKind`.
+    actor:
+        Name of the participant/component the observation concerns.
+    data:
+        Kind-specific payload (message ids, amounts, state names, ...).
+    seq:
+        Position in the trace; a total order consistent with time.
+    """
+
+    time: float
+    kind: TraceKind
+    actor: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload lookup shorthand."""
+        return self.data.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent(t={self.time:.6g}, {self.kind.value}, {self.actor}, "
+            f"{self.data})"
+        )
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def record(
+        self, time: float, kind: TraceKind, actor: str, /, **data: Any
+    ) -> TraceEvent:
+        """Append one event and return it."""
+        event = TraceEvent(
+            time=time, kind=kind, actor=actor, data=data, seq=len(self._events)
+        )
+        self._events.append(event)
+        return event
+
+    # -- queries -------------------------------------------------------
+
+    def events(
+        self,
+        kind: Optional[TraceKind] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Filtered view of the trace, preserving order."""
+        out: List[TraceEvent] = []
+        for e in self._events:
+            if kind is not None and e.kind is not kind:
+                continue
+            if actor is not None and e.actor != actor:
+                continue
+            if predicate is not None and not predicate(e):
+                continue
+            out.append(e)
+        return out
+
+    def first(
+        self,
+        kind: Optional[TraceKind] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> Optional[TraceEvent]:
+        """First matching event or ``None``."""
+        for e in self._events:
+            if kind is not None and e.kind is not kind:
+                continue
+            if actor is not None and e.actor != actor:
+                continue
+            if predicate is not None and not predicate(e):
+                continue
+            return e
+        return None
+
+    def last(
+        self,
+        kind: Optional[TraceKind] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> Optional[TraceEvent]:
+        """Last matching event or ``None``."""
+        for e in reversed(self._events):
+            if kind is not None and e.kind is not kind:
+                continue
+            if actor is not None and e.actor != actor:
+                continue
+            if predicate is not None and not predicate(e):
+                continue
+            return e
+        return None
+
+    def count(self, kind: Optional[TraceKind] = None, actor: Optional[str] = None) -> int:
+        """Number of matching events."""
+        return len(self.events(kind=kind, actor=actor))
+
+    def actors(self) -> List[str]:
+        """Sorted distinct actor names appearing in the trace."""
+        return sorted({e.actor for e in self._events})
+
+    def termination_time(self, actor: str) -> Optional[float]:
+        """Time at which ``actor`` recorded TERMINATE, if it did."""
+        e = self.first(kind=TraceKind.TERMINATE, actor=actor)
+        return e.time if e is not None else None
+
+    def span(self) -> Tuple[float, float]:
+        """(first, last) event times; (0.0, 0.0) when empty."""
+        if not self._events:
+            return (0.0, 0.0)
+        return (self._events[0].time, self._events[-1].time)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Serialise to a list of plain dicts (for JSON/CSV export)."""
+        return [
+            {
+                "seq": e.seq,
+                "time": e.time,
+                "kind": e.kind.value,
+                "actor": e.actor,
+                **e.data,
+            }
+            for e in self._events
+        ]
+
+
+__all__ = ["TraceEvent", "TraceKind", "TraceRecorder"]

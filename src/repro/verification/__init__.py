@@ -1,0 +1,17 @@
+"""Bounded exhaustive verification of small protocol instances."""
+
+from .explorer import (
+    DEFAULT_DECISION_KINDS,
+    ExplorationReport,
+    ScriptedDelayAdversary,
+    explore,
+    explore_payment,
+)
+
+__all__ = [
+    "DEFAULT_DECISION_KINDS",
+    "ExplorationReport",
+    "ScriptedDelayAdversary",
+    "explore",
+    "explore_payment",
+]

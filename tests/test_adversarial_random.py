@@ -1,0 +1,124 @@
+"""Property-based adversarial sweeps.
+
+The paper's safety clauses are *unconditional over adversaries*: no
+matter which subset of participants misbehaves (within the
+authentication model) and no matter the drift/delay draw, an honest
+participant with honest escrows never loses value.  Hypothesis explores
+random corners of that space.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.session import PaymentSession
+from repro.core.topology import PaymentTopology
+from repro.net.timing import PartialSynchrony, Synchronous
+from repro.properties import check_definition1, check_definition2
+
+CUSTOMER_BEHAVIORS = [
+    None,
+    "crash_immediately",
+    "customer_never_pays",
+    "mute_sends",
+]
+ESCROW_BEHAVIORS = [
+    None,
+    "crash_immediately",
+    "escrow_no_refund",
+    "escrow_steal_deposit",
+    ("escrow_early_timeout", {"factor": 0.2}),
+    "mute_sends",
+]
+WEAK_BEHAVIORS = [None, "never_deposit", "abort_immediately"]
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    rho=st.floats(min_value=0.0, max_value=0.05),
+    n=st.integers(min_value=1, max_value=4),
+    byz_customer=st.sampled_from(CUSTOMER_BEHAVIORS),
+    byz_escrow=st.sampled_from(ESCROW_BEHAVIORS),
+    customer_idx=st.integers(0, 10),
+    escrow_idx=st.integers(0, 10),
+)
+def test_timebounded_never_violates_def1(
+    seed, rho, n, byz_customer, byz_escrow, customer_idx, escrow_idx
+):
+    """Random Byzantine subsets + random drift: Definition 1 verdicts
+    are never VIOLATED for the drift-tuned protocol under synchrony."""
+    topo = PaymentTopology.linear(n, payment_id=f"hyp-{seed}")
+    byzantine = {}
+    if byz_customer is not None:
+        victim = topo.customer(customer_idx % topo.n_customers)
+        # `customer_never_pays` crashes at the send_money state, which
+        # Bob's automaton does not have — use his role-specific
+        # deviation instead.
+        if victim == topo.bob and byz_customer == "customer_never_pays":
+            byz_customer = "bob_never_signs"
+        byzantine[victim] = byz_customer
+    if byz_escrow is not None:
+        byzantine[topo.escrow(escrow_idx % topo.n_escrows)] = byz_escrow
+    session = PaymentSession(
+        topo, "timebounded", Synchronous(1.0), seed=seed, rho=rho,
+        byzantine=byzantine,
+    )
+    outcome = session.run()
+    report = check_definition1(outcome)
+    assert report.all_ok, (byzantine, report.summary())
+    assert all(
+        ok for name, ok in outcome.ledger_audits.items() if name not in byzantine
+    )
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    gst=st.floats(min_value=0.0, max_value=100.0),
+    patience=st.floats(min_value=1.0, max_value=200.0),
+    byz=st.sampled_from(WEAK_BEHAVIORS),
+    who=st.integers(0, 10),
+)
+def test_weak_never_violates_def2(seed, gst, patience, byz, who):
+    """Random GST/patience/Byzantine draws: Definition 2 safety never
+    breaks; outcomes are always a clean commit or a clean abort."""
+    topo = PaymentTopology.linear(2, payment_id=f"hypw-{seed}")
+    byzantine = {}
+    if byz is not None:
+        byzantine[topo.customer(who % topo.n_customers)] = byz
+    session = PaymentSession(
+        topo,
+        "weak",
+        PartialSynchrony(gst=gst, delta=1.0),
+        seed=seed,
+        byzantine=byzantine,
+        horizon=100_000.0,
+        protocol_options={
+            "tm": "trusted",
+            "patience_setup": patience,
+            "patience_decision": patience,
+        },
+    )
+    outcome = session.run()
+    report = check_definition2(outcome, patient=False)  # safety-only reading
+    assert report.all_ok, (byzantine, gst, patience, report.summary())
+    decisions = outcome.decision_kinds_issued()
+    assert decisions in (set(), {"commit"}, {"abort"})
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 5))
+def test_runs_are_deterministic(seed, n):
+    """Same configuration twice ⇒ identical outcomes and traces."""
+    def run():
+        topo = PaymentTopology.linear(n, payment_id=f"det-{seed}")
+        s = PaymentSession(topo, "timebounded", Synchronous(1.0), seed=seed, rho=0.02)
+        o = s.run()
+        return (
+            o.bob_paid,
+            o.end_time,
+            o.messages_sent,
+            tuple((e.time, e.kind.value, e.actor) for e in o.trace),
+        )
+
+    assert run() == run()

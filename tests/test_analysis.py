@@ -1,0 +1,88 @@
+"""Tests: the trace analytics module."""
+
+from repro.analysis import (
+    latency_stats,
+    message_flow,
+    money_flow,
+    summarize,
+    termination_order,
+)
+from repro.core.session import PaymentSession
+from repro.core.topology import PaymentTopology
+from repro.net.timing import Synchronous
+
+
+def _outcome(seed=1, n=2):
+    topo = PaymentTopology.linear(n, payment_id="analysis")
+    return PaymentSession(topo, "timebounded", Synchronous(1.0), seed=seed).run()
+
+
+class TestMessageFlow:
+    def test_one_line_per_send(self):
+        outcome = _outcome()
+        lines = message_flow(outcome.trace)
+        assert len(lines) == outcome.messages_sent
+
+    def test_limit_respected(self):
+        outcome = _outcome()
+        assert len(message_flow(outcome.trace, limit=3)) == 3
+
+    def test_lines_mention_kinds(self):
+        outcome = _outcome()
+        text = "\n".join(message_flow(outcome.trace))
+        for kind in ("guarantee", "promise", "money", "certificate"):
+            assert kind in text
+
+
+class TestLatencyStats:
+    def test_stats_cover_all_kinds(self):
+        outcome = _outcome()
+        stats = latency_stats(outcome.trace)
+        assert set(stats) == {"guarantee", "promise", "money", "certificate"}
+
+    def test_latencies_within_synchrony_bound(self):
+        outcome = _outcome()
+        for s in latency_stats(outcome.trace).values():
+            assert 0.0 <= s.mean <= s.maximum <= 1.0
+            assert s.count >= 1
+
+
+class TestMoneyFlow:
+    def test_honest_run_movements(self):
+        outcome = _outcome(n=2)
+        rows = money_flow(outcome.trace)
+        ops = [r["op"] for r in rows]
+        # two deposits then two releases (order of releases backward):
+        assert ops.count("escrow_deposit") == 2
+        assert ops.count("escrow_release") == 2
+        assert ops.count("escrow_refund") == 0
+
+    def test_refund_run_movements(self):
+        topo = PaymentTopology.linear(2, payment_id="analysis-refund")
+        outcome = PaymentSession(
+            topo, "timebounded", Synchronous(1.0), seed=1,
+            byzantine={"c2": "bob_never_signs"},
+        ).run()
+        ops = [r["op"] for r in money_flow(outcome.trace)]
+        assert ops.count("escrow_refund") == 2
+        assert ops.count("escrow_release") == 0
+
+    def test_rows_chronological(self):
+        outcome = _outcome()
+        times = [r["time"] for r in money_flow(outcome.trace)]
+        assert times == sorted(times)
+
+
+class TestSummary:
+    def test_summarize_sections(self):
+        outcome = _outcome()
+        text = summarize(outcome)
+        assert "bob paid: True" in text
+        assert "positions:" in text
+        assert "ledger movements:" in text
+        assert "termination order:" in text
+
+    def test_termination_order_everyone(self):
+        outcome = _outcome(n=2)
+        order = termination_order(outcome.trace)
+        assert sorted(order) == sorted(outcome.topology.participants())

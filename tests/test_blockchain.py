@@ -1,0 +1,230 @@
+"""Unit tests: the blockchain substrate and standard contracts."""
+
+import pytest
+
+from repro.crypto.certificates import Decision
+from repro.crypto.hashlock import new_secret
+from repro.errors import BlockchainError, ContractError
+from repro.ledger.asset import Amount
+from repro.ledger.blockchain import SimpleChain
+from repro.ledger.contracts import (
+    CertifiedBroadcastContract,
+    HTLCContract,
+    TransactionManagerContract,
+)
+from repro.sim.kernel import Simulator
+
+
+def _chain(block_interval=1.0, confirmations=1, seed=0):
+    sim = Simulator(seed=seed)
+    chain = SimpleChain(sim, "chain", block_interval=block_interval, confirmations=confirmations)
+    chain.start()
+    return sim, chain
+
+
+class TestChain:
+    def test_blocks_produced_on_schedule(self):
+        sim, chain = _chain()
+        sim.run(until=5.5)
+        assert chain.height == 5
+
+    def test_tx_included_in_next_block(self):
+        sim, chain = _chain()
+        chain.deploy(CertifiedBroadcastContract("log"))
+        tx = chain.submit("alice", "log", "publish", {"payload": 1})
+        sim.run(until=1.5)
+        receipt = chain.receipts[tx.tx_id]
+        assert receipt.ok and receipt.block_height == 0
+
+    def test_finality_notification_delayed_by_confirmations(self):
+        sim, chain = _chain(confirmations=3)
+        chain.deploy(CertifiedBroadcastContract("log"))
+        seen = []
+        chain.subscribe_finality(lambda r: seen.append((r.tx.tx_id, sim.now)))
+        chain.submit("alice", "log", "publish", {"payload": 1})
+        sim.run(until=10.0)
+        assert seen and seen[0][1] == pytest.approx(4.0)  # block@1 + 3 conf
+
+    def test_failed_tx_reported_not_fatal(self):
+        sim, chain = _chain()
+        chain.deploy(CertifiedBroadcastContract("log"))
+        tx = chain.submit("alice", "log", "no_such_method", {})
+        sim.run(until=1.5)
+        receipt = chain.receipts[tx.tx_id]
+        assert not receipt.ok and "unknown method" in receipt.error
+
+    def test_submit_to_unknown_contract_rejected(self):
+        sim, chain = _chain()
+        with pytest.raises(BlockchainError):
+            chain.submit("alice", "nope", "m", {})
+
+    def test_duplicate_deploy_rejected(self):
+        sim, chain = _chain()
+        chain.deploy(CertifiedBroadcastContract("log"))
+        with pytest.raises(BlockchainError):
+            chain.deploy(CertifiedBroadcastContract("log"))
+
+    def test_time_to_finality(self):
+        sim, chain = _chain(block_interval=2.0, confirmations=3)
+        assert chain.time_to_finality() == 8.0
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(BlockchainError):
+            SimpleChain(sim, "c", block_interval=0.0)
+        with pytest.raises(BlockchainError):
+            SimpleChain(sim, "c", confirmations=-1)
+
+
+class TestTransactionManagerContract:
+    def _tm(self):
+        sim, chain = _chain()
+        tm = TransactionManagerContract("tm", "p", escrows=["e0", "e1"], beneficiary="bob")
+        chain.deploy(tm)
+        return sim, chain, tm
+
+    def test_commit_after_all_reports_and_request(self):
+        sim, chain, tm = self._tm()
+        chain.submit("e0", "tm", "escrowed", {})
+        chain.submit("e1", "tm", "escrowed", {})
+        chain.submit("bob", "tm", "request_commit", {})
+        sim.run(until=2.0)
+        assert tm.decision is Decision.COMMIT
+
+    def test_commit_blocked_until_all_report(self):
+        sim, chain, tm = self._tm()
+        chain.submit("e0", "tm", "escrowed", {})
+        chain.submit("bob", "tm", "request_commit", {})
+        sim.run(until=2.0)
+        assert tm.decision is None
+
+    def test_abort_wins_when_first(self):
+        sim, chain, tm = self._tm()
+        chain.submit("anyone", "tm", "request_abort", {})
+        sim.run(until=2.0)
+        chain.submit("e0", "tm", "escrowed", {})
+        chain.submit("e1", "tm", "escrowed", {})
+        chain.submit("bob", "tm", "request_commit", {})
+        sim.run(until=4.0)
+        assert tm.decision is Decision.ABORT  # frozen
+
+    def test_only_registered_escrows_may_report(self):
+        sim, chain, tm = self._tm()
+        tx = chain.submit("intruder", "tm", "escrowed", {})
+        sim.run(until=2.0)
+        assert not chain.receipts[tx.tx_id].ok
+        assert tm.reported == set()
+
+    def test_only_beneficiary_may_request_commit(self):
+        sim, chain, tm = self._tm()
+        tx = chain.submit("eve", "tm", "request_commit", {})
+        sim.run(until=2.0)
+        assert not chain.receipts[tx.tx_id].ok
+
+    def test_decision_is_single_assignment(self):
+        sim, chain, tm = self._tm()
+        chain.submit("x", "tm", "request_abort", {})
+        chain.submit("y", "tm", "request_abort", {})
+        sim.run(until=2.0)
+        assert tm.decision is Decision.ABORT  # no error, still abort
+
+
+class TestHTLCContract:
+    def _setup(self):
+        sim, chain = _chain()
+        htlc = HTLCContract("htlc")
+        chain.deploy(htlc)
+        chain.ledger.mint("alice", Amount("X", 100))
+        secret = new_secret("s")
+        return sim, chain, htlc, secret
+
+    def test_lock_claim(self):
+        sim, chain, htlc, secret = self._setup()
+        chain.submit("alice", "htlc", "lock", {
+            "lock_id": "L", "beneficiary": "bob", "amount": Amount("X", 40),
+            "hashlock": secret.lock(), "deadline": 100.0,
+        })
+        sim.run(until=1.5)
+        chain.submit("bob", "htlc", "claim", {"lock_id": "L", "preimage": secret})
+        sim.run(until=2.5)
+        assert chain.ledger.balance("bob", "X").units == 40
+        assert htlc.locks["L"].state == "claimed"
+
+    def test_claim_wrong_preimage_rejected(self):
+        sim, chain, htlc, secret = self._setup()
+        chain.submit("alice", "htlc", "lock", {
+            "lock_id": "L", "beneficiary": "bob", "amount": Amount("X", 40),
+            "hashlock": secret.lock(), "deadline": 100.0,
+        })
+        sim.run(until=1.5)
+        tx = chain.submit("bob", "htlc", "claim", {"lock_id": "L", "preimage": new_secret("wrong")})
+        sim.run(until=2.5)
+        assert not chain.receipts[tx.tx_id].ok
+        assert htlc.locks["L"].state == "held"
+
+    def test_claim_after_deadline_rejected(self):
+        sim, chain, htlc, secret = self._setup()
+        chain.submit("alice", "htlc", "lock", {
+            "lock_id": "L", "beneficiary": "bob", "amount": Amount("X", 40),
+            "hashlock": secret.lock(), "deadline": 2.0,
+        })
+        sim.run(until=3.5)
+        tx = chain.submit("bob", "htlc", "claim", {"lock_id": "L", "preimage": secret})
+        sim.run(until=5.0)
+        assert not chain.receipts[tx.tx_id].ok
+
+    def test_refund_only_after_deadline(self):
+        sim, chain, htlc, secret = self._setup()
+        chain.submit("alice", "htlc", "lock", {
+            "lock_id": "L", "beneficiary": "bob", "amount": Amount("X", 40),
+            "hashlock": secret.lock(), "deadline": 3.0,
+        })
+        sim.run(until=1.5)
+        early = chain.submit("alice", "htlc", "refund", {"lock_id": "L"})
+        sim.run(until=2.5)
+        assert not chain.receipts[early.tx_id].ok
+        late = chain.submit("alice", "htlc", "refund", {"lock_id": "L"})
+        sim.run(until=4.5)
+        assert chain.receipts[late.tx_id].ok
+        assert chain.ledger.balance("alice", "X").units == 100
+
+    def test_only_beneficiary_claims(self):
+        sim, chain, htlc, secret = self._setup()
+        chain.submit("alice", "htlc", "lock", {
+            "lock_id": "L", "beneficiary": "bob", "amount": Amount("X", 40),
+            "hashlock": secret.lock(), "deadline": 100.0,
+        })
+        sim.run(until=1.5)
+        tx = chain.submit("eve", "htlc", "claim", {"lock_id": "L", "preimage": secret})
+        sim.run(until=2.5)
+        assert not chain.receipts[tx.tx_id].ok
+
+    def test_chain_ledger_conserves_value(self):
+        sim, chain, htlc, secret = self._setup()
+        chain.submit("alice", "htlc", "lock", {
+            "lock_id": "L", "beneficiary": "bob", "amount": Amount("X", 40),
+            "hashlock": secret.lock(), "deadline": 100.0,
+        })
+        sim.run(until=1.5)
+        assert chain.ledger.audit_ok()
+
+
+class TestCertifiedBroadcast:
+    def test_publish_and_read(self):
+        sim, chain = _chain()
+        chain.deploy(CertifiedBroadcastContract("log"))
+        chain.submit("a", "log", "publish", {"payload": "r1"})
+        chain.submit("b", "log", "publish", {"payload": "r2"})
+        sim.run(until=1.5)
+        log = chain.contract("log").log
+        assert [r.payload for r in log] == ["r1", "r2"]
+        assert [r.publisher for r in log] == ["a", "b"]
+        assert log[0].index == 0 and log[1].index == 1
+
+    def test_order_is_submission_order_within_block(self):
+        sim, chain = _chain()
+        chain.deploy(CertifiedBroadcastContract("log"))
+        for i in range(5):
+            chain.submit("a", "log", "publish", {"payload": i})
+        sim.run(until=1.5)
+        assert [r.payload for r in chain.contract("log").log] == list(range(5))

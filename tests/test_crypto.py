@@ -1,0 +1,252 @@
+"""Unit and property-based tests: simulated crypto."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.certificates import (
+    Decision,
+    DecisionCertificate,
+    PaymentCertificate,
+    QuorumCertificate,
+    Vote,
+)
+from repro.crypto.hashlock import HashLock, Preimage, new_secret
+from repro.crypto.keys import KeyRing
+from repro.crypto.promises import Guarantee, PaymentPromise
+from repro.crypto.signatures import (
+    Signature,
+    SignedClaim,
+    canonical_encode,
+    require_valid,
+    sign,
+    verify,
+)
+from repro.errors import CryptoError, SignatureError
+
+
+@pytest.fixture()
+def ring():
+    ring = KeyRing(domain="test")
+    ring.create_all(["alice", "bob", "eve"])
+    return ring
+
+
+class TestCanonicalEncoding:
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_distinguishes_types(self):
+        assert canonical_encode(1) != canonical_encode("1")
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(None) != canonical_encode(0)
+
+    def test_nested_structures(self):
+        payload = {"list": [1, "x", {"k": b"bytes"}], "t": (1, 2)}
+        assert canonical_encode(payload) == canonical_encode(payload)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CryptoError):
+            canonical_encode(object())
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(),
+                st.floats(allow_nan=False),
+                st.text(max_size=20),
+                st.binary(max_size=20),
+            ),
+            lambda inner: st.one_of(
+                st.lists(inner, max_size=4),
+                st.dictionaries(st.text(max_size=8), inner, max_size=4),
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_encoding_is_deterministic(self, payload):
+        assert canonical_encode(payload) == canonical_encode(payload)
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_distinct_strings_distinct_encodings(self, a, b):
+        if a != b:
+            assert canonical_encode(a) != canonical_encode(b)
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, ring):
+        alice = ring.create("alice")
+        sig = sign(alice, {"msg": "hello"})
+        assert verify(ring, sig, {"msg": "hello"})
+
+    def test_tampered_payload_fails(self, ring):
+        alice = ring.create("alice")
+        sig = sign(alice, {"msg": "hello"})
+        assert not verify(ring, sig, {"msg": "hacked"})
+
+    def test_unknown_signer_fails(self, ring):
+        sig = Signature(signer="nobody", tag=b"\x00" * 32)
+        assert not verify(ring, sig, {"x": 1})
+
+    def test_wrong_key_cannot_impersonate(self, ring):
+        eve = ring.create("eve")
+        sig = sign(eve, {"msg": "hi"})
+        forged = Signature(signer="alice", tag=sig.tag)
+        assert not verify(ring, forged, {"msg": "hi"})
+
+    def test_require_valid_raises(self, ring):
+        alice = ring.create("alice")
+        sig = sign(alice, "x")
+        require_valid(ring, sig, "x")  # no raise
+        with pytest.raises(SignatureError):
+            require_valid(ring, sig, "y")
+
+    def test_signed_claim_roundtrip(self, ring):
+        claim = SignedClaim.make(ring.create("alice"), payment_id="p", kind="escrowed")
+        assert claim.signer == "alice"
+        assert claim.valid(ring)
+        assert claim.valid(ring, expected_signer="alice")
+        assert not claim.valid(ring, expected_signer="bob")
+
+    def test_signed_claim_body_is_bound(self, ring):
+        claim = SignedClaim.make(ring.create("alice"), payment_id="p")
+        tampered = SignedClaim(
+            body={**claim.body, "payment_id": "q"}, signature=claim.signature
+        )
+        assert not tampered.valid(ring)
+
+
+class TestPaymentCertificate:
+    def test_issue_and_verify(self, ring):
+        cert = PaymentCertificate.issue(ring.create("bob"), "pay1")
+        assert cert.valid(ring)
+        assert cert.valid(ring, expected_issuer="bob")
+
+    def test_wrong_expected_issuer(self, ring):
+        cert = PaymentCertificate.issue(ring.create("bob"), "pay1")
+        assert not cert.valid(ring, expected_issuer="alice")
+
+    def test_forgery_with_own_key_rejected(self, ring):
+        """Eve signs a body claiming Bob issued it — must fail."""
+        eve = ring.create("eve")
+        body = {"type": "chi", "payment_id": "pay1", "issuer": "bob"}
+        forged = PaymentCertificate(
+            payment_id="pay1", issuer="bob", signature=sign(eve, body)
+        )
+        assert not forged.valid(ring)
+        assert not forged.valid(ring, expected_issuer="bob")
+
+
+class TestDecisionCertificates:
+    def test_issue_and_verify(self, ring):
+        cert = DecisionCertificate.issue(ring.create("alice"), "p", Decision.COMMIT)
+        assert cert.valid(ring)
+        assert cert.is_commit
+
+    def test_cross_issuer_forgery_rejected(self, ring):
+        eve = ring.create("eve")
+        body = {
+            "type": "decision", "payment_id": "p",
+            "decision": "commit", "issuer": "alice",
+        }
+        forged = DecisionCertificate(
+            payment_id="p", decision=Decision.COMMIT, issuer="alice",
+            signature=sign(eve, body),
+        )
+        assert not forged.valid(ring)
+
+
+class TestQuorumCertificates:
+    def _votes(self, ring, names, decision=Decision.COMMIT, payment="p"):
+        return [Vote.cast(ring.create(n), payment, decision) for n in names]
+
+    def test_quorum_reached(self, ring):
+        committee = ["n0", "n1", "n2", "n3"]
+        votes = self._votes(ring, committee[:3])
+        qc = QuorumCertificate("p", Decision.COMMIT, tuple(votes))
+        assert qc.valid(ring, committee, threshold=3)
+
+    def test_below_threshold_invalid(self, ring):
+        committee = ["n0", "n1", "n2", "n3"]
+        votes = self._votes(ring, committee[:2])
+        qc = QuorumCertificate("p", Decision.COMMIT, tuple(votes))
+        assert not qc.valid(ring, committee, threshold=3)
+
+    def test_duplicate_votes_counted_once(self, ring):
+        committee = ["n0", "n1", "n2", "n3"]
+        v = self._votes(ring, ["n0"])[0]
+        qc = QuorumCertificate("p", Decision.COMMIT, (v, v, v))
+        assert not qc.valid(ring, committee, threshold=2)
+
+    def test_non_committee_votes_ignored(self, ring):
+        committee = ["n0", "n1"]
+        votes = self._votes(ring, ["n0", "outsider1", "outsider2"])
+        qc = QuorumCertificate("p", Decision.COMMIT, tuple(votes))
+        assert not qc.valid(ring, committee, threshold=2)
+
+    def test_mismatched_decision_votes_ignored(self, ring):
+        committee = ["n0", "n1", "n2"]
+        votes = self._votes(ring, ["n0", "n1"], decision=Decision.ABORT)
+        qc = QuorumCertificate("p", Decision.COMMIT, tuple(votes))
+        assert not qc.valid(ring, committee, threshold=2)
+
+    def test_vote_signer_must_match_notary(self, ring):
+        eve = ring.create("eve")
+        body = {"type": "vote", "payment_id": "p", "decision": "commit", "notary": "n0"}
+        ring.create("n0")
+        forged = Vote(
+            payment_id="p", decision=Decision.COMMIT, notary="n0",
+            signature=sign(eve, body),
+        )
+        assert not forged.valid(ring)
+
+    def test_zero_threshold_rejected(self, ring):
+        qc = QuorumCertificate("p", Decision.COMMIT, ())
+        with pytest.raises(CryptoError):
+            qc.valid(ring, ["n0"], threshold=0)
+
+
+class TestPromises:
+    def test_guarantee_roundtrip(self, ring):
+        g = Guarantee.issue(ring.create("alice"), "p", "bob", d=5.0)
+        assert g.valid(ring)
+        assert g.d == 5.0
+
+    def test_guarantee_requires_positive_window(self, ring):
+        with pytest.raises(CryptoError):
+            Guarantee.issue(ring.create("alice"), "p", "bob", d=0.0)
+
+    def test_promise_roundtrip_and_deadline(self, ring):
+        p = PaymentPromise.issue(ring.create("alice"), "p", "bob", a=4.0, issued_at_local=10.0)
+        assert p.valid(ring)
+        assert p.deadline_local() == 14.0
+
+    def test_promise_signer_must_be_escrow(self, ring):
+        p = PaymentPromise.issue(ring.create("eve"), "p", "bob", a=4.0, issued_at_local=0.0)
+        tampered = PaymentPromise(
+            payment_id="p", escrow="alice", customer="bob", a=4.0,
+            issued_at_local=0.0, signature=p.signature,
+        )
+        assert not tampered.valid(ring)
+
+
+class TestHashlock:
+    def test_preimage_opens_own_lock(self):
+        secret = new_secret("s1")
+        assert secret.lock().matches(secret)
+
+    def test_wrong_preimage_rejected(self):
+        assert not new_secret("s1").lock().matches(new_secret("s2"))
+
+    def test_new_secret_deterministic(self):
+        assert new_secret("x").value == new_secret("x").value
+
+    def test_digest_length_enforced(self):
+        with pytest.raises(CryptoError):
+            HashLock(b"short")
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_any_preimage_roundtrip(self, raw):
+        p = Preimage(raw)
+        assert p.lock().matches(p)

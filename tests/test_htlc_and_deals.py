@@ -1,0 +1,255 @@
+"""Tests: the HTLC baseline and the cross-chain deals of Section 5."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.session import PaymentSession
+from repro.core.topology import PaymentTopology
+from repro.deals import (
+    DealMatrix,
+    DealSession,
+    acceptable,
+    all_abort_acceptable_for_deal,
+    build_certified_deal,
+    build_timelock_deal,
+    classify,
+    deal_as_payment,
+    deal_position,
+    dominates,
+    payment_as_deal,
+    separation_report,
+)
+from repro.errors import DealError
+from repro.ledger.asset import Amount
+from repro.net.adversary import EdgeDelayAdversary, KindDelayAdversary
+from repro.net.message import MsgKind
+from repro.net.timing import PartialSynchrony, Synchronous
+
+
+class TestHTLCProtocol:
+    def _run(self, n=3, seed=0, timing=None, byzantine=None, horizon=50_000.0):
+        topo = PaymentTopology.linear(n, payment_id=f"h-{n}-{seed}")
+        return PaymentSession(
+            topo, "htlc", timing or Synchronous(1.0), seed=seed,
+            byzantine=byzantine or {}, horizon=horizon,
+        ).run()
+
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_honest_synchronous_pays_bob(self, n):
+        outcome = self._run(n=n)
+        assert outcome.bob_paid
+        assert outcome.all_participants_terminated()
+
+    def test_alice_receipt_is_the_preimage(self):
+        outcome = self._run()
+        assert outcome.holds_certificate("c0", "preimage")
+
+    def test_bob_never_claims_everyone_refunded(self):
+        outcome = self._run(byzantine={"c3": "bob_never_claims"})
+        assert not outcome.bob_paid
+        for c in ("c0", "c1", "c2"):
+            assert outcome.refunded(c)
+        assert all(outcome.ledger_audits.values())
+
+    def test_connector_withholding_claim_loses_only_her_own(self):
+        outcome = self._run(byzantine={"c1": "withhold_claim"})
+        assert all(outcome.ledger_audits.values())
+        # c2 and Bob completed their side; c0 refunded eventually:
+        assert outcome.bob_paid
+
+    def test_partial_synchrony_harms_a_connector(self):
+        """The paper's point: HTLC has no drift/delay-proof guarantees —
+        a delayed claim strands a connector who already paid out."""
+        topo = PaymentTopology.linear(3, payment_id="htlc-ps")
+        adversary = KindDelayAdversary((MsgKind.CLAIM,), limit=1)
+        outcome = PaymentSession(
+            topo, "htlc",
+            PartialSynchrony(gst=1_000.0, delta=0.2, pre_gst_scale=0.0),
+            adversary=adversary, seed=3, horizon=50_000.0,
+            protocol_options={"delta": 0.2},
+        ).run()
+        # Bob's claim was held past every deadline: all refund, no harm —
+        # OR a mid-chain claim was held: someone is out of pocket.  In
+        # either case the strong guarantees of Def 1 are absent:
+        assert not outcome.bob_paid or any(
+            any(u < 0 for u in outcome.position_delta(c).values())
+            for c in outcome.topology.connectors()
+        )
+
+
+class TestDealMatrix:
+    def test_cycle_is_well_formed(self):
+        assert DealMatrix.cycle(["a", "b", "c"]).is_well_formed()
+
+    def test_path_is_not_well_formed(self):
+        assert not DealMatrix.path(["a", "b", "c"]).is_well_formed()
+
+    def test_clique_is_well_formed(self):
+        assert DealMatrix.clique(["a", "b", "c"]).is_well_formed()
+
+    def test_isolated_party_not_well_formed(self):
+        m = DealMatrix.from_dict(
+            ["a", "b", "c"], {(0, 1): Amount("X", 1), (1, 0): Amount("X", 1)}
+        )
+        assert not m.is_well_formed()
+
+    def test_validation(self):
+        with pytest.raises(DealError):
+            DealMatrix.from_dict(["a"], {(0, 0): Amount("X", 1)})
+        with pytest.raises(DealError):
+            DealMatrix.from_dict(["a", "b"], {(0, 5): Amount("X", 1)})
+        with pytest.raises(DealError):
+            DealMatrix.from_dict(["a", "a"], {})
+
+    def test_distances_to_leader(self):
+        m = DealMatrix.cycle(["a", "b", "c"])
+        dist = m.distances_to(0)
+        assert dist == {0: 0, 2: 1, 1: 2}
+
+    def test_completion_delta(self):
+        m = DealMatrix.cycle(["a", "b", "c"], units=10)
+        # party 1 receives A0 (from 0), pays A1 (to 2):
+        assert m.party_delta_on_completion(1) == {"A0": 10, "A1": -10}
+
+    @settings(max_examples=40)
+    @given(
+        n=st.integers(min_value=2, max_value=5),
+        edges=st.sets(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=16
+        ),
+    )
+    def test_well_formedness_matches_networkx(self, n, edges):
+        """Our Kosaraju-style check agrees with networkx on random digraphs."""
+        arcs = {
+            (i, j): Amount("X", 1)
+            for (i, j) in edges
+            if i != j and i < n and j < n
+        }
+        matrix = DealMatrix.from_dict([f"p{k}" for k in range(n)], arcs)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(arcs.keys())
+        assert matrix.is_well_formed() == nx.is_strongly_connected(g)
+
+
+class TestPayoffs:
+    def test_dominates(self):
+        assert dominates({"X": 5}, {"X": 3})
+        assert not dominates({"X": 2}, {"X": 3})
+        assert dominates({}, {"X": -1})
+
+    def test_acceptable_positions(self):
+        m = DealMatrix.cycle(["a", "b", "c"], units=10)
+        assert acceptable(m, 0, deal_position(m, 0))  # DEAL
+        assert acceptable(m, 0, {})  # NOTHING
+        assert acceptable(m, 0, {"A2": 10})  # strictly better
+        assert not acceptable(m, 0, {"A0": -10})  # paid, not paid back
+
+    def test_classify(self):
+        m = DealMatrix.cycle(["a", "b", "c"], units=10)
+        assert classify(m, 0, deal_position(m, 0)) == "deal"
+        assert classify(m, 0, {}) == "nothing"
+        assert classify(m, 0, {"A2": 10}) == "better"
+        assert classify(m, 0, {"A0": -10}) == "unacceptable"
+
+
+class TestDealProtocols:
+    def test_timelock_synchronous_completes(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(m, build_timelock_deal, Synchronous(1.0), seed=1).run()
+        assert o.all_transfers_happened and o.safety_ok() and o.termination_ok()
+
+    def test_timelock_rejects_malformed_deal(self):
+        m = DealMatrix.path(["p0", "p1", "p2"])
+        with pytest.raises(DealError):
+            DealSession(m, build_timelock_deal, Synchronous(1.0)).run()
+
+    def test_timelock_party_never_escrows_all_refund(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(
+            m, build_timelock_deal, Synchronous(1.0), seed=1,
+            byzantine={1: "never_escrow"},
+        ).run()
+        assert not o.all_transfers_happened
+        assert o.safety_ok() and o.termination_ok()
+        assert all(c == "nothing" for p, c in o.payoff_class.items() if p != 1)
+
+    def test_timelock_partial_synchrony_loses_safety(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(
+            m, build_timelock_deal,
+            PartialSynchrony(gst=500.0, delta=0.2, pre_gst_scale=0.0),
+            adversary=EdgeDelayAdversary([("esc_1_2", "p1")]),
+            seed=3,
+        ).run()
+        assert not o.safety_ok()
+        assert o.payoff_class[1] == "unacceptable"
+
+    def test_certified_synchronous_completes(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(
+            m, build_certified_deal, Synchronous(1.0), seed=1,
+            options={"patience": 200.0}, horizon=5_000.0,
+        ).run()
+        assert o.all_transfers_happened
+
+    def test_certified_keeps_safety_under_partial_synchrony(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(
+            m, build_certified_deal,
+            PartialSynchrony(gst=15.0, delta=1.0), seed=2,
+            options={"patience": 500.0}, horizon=5_000.0,
+        ).run()
+        assert o.safety_ok() and o.termination_ok()
+
+    def test_certified_abort_first_kills_liveness_not_safety(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(
+            m, build_certified_deal, Synchronous(1.0), seed=2,
+            byzantine={1: "abort_immediately"},
+            options={"patience": 200.0}, horizon=5_000.0,
+        ).run()
+        assert not o.all_transfers_happened
+        assert o.safety_ok() and o.termination_ok()
+
+    def test_impatient_certified_party_aborts(self):
+        m = DealMatrix.cycle(["p0", "p1", "p2"])
+        o = DealSession(
+            m, build_certified_deal,
+            PartialSynchrony(gst=400.0, delta=1.0), seed=2,
+            options={"patience": 3.0}, horizon=5_000.0,
+        ).run()
+        assert not o.all_transfers_happened
+        assert o.safety_ok()
+
+
+class TestSeparation:
+    def test_payment_as_deal_is_path(self):
+        topo = PaymentTopology.linear(3)
+        m = payment_as_deal(topo)
+        assert m.n_parties == 4
+        assert not m.is_well_formed()
+
+    def test_all_abort_acceptable_for_deals(self):
+        assert all_abort_acceptable_for_deal(DealMatrix.cycle(["a", "b", "c"]))
+
+    def test_cycle_not_expressible_as_payment(self):
+        assert deal_as_payment(DealMatrix.cycle(["a", "b", "c"])) is None
+
+    def test_path_deal_recovers_payment(self):
+        topo = PaymentTopology.linear(3)
+        recovered = deal_as_payment(payment_as_deal(topo))
+        assert recovered is not None
+        assert recovered.n_escrows == 3
+        assert recovered.amounts == topo.amounts
+
+    def test_clique_not_expressible(self):
+        assert deal_as_payment(DealMatrix.clique(["a", "b", "c"])) is None
+
+    def test_separation_report_shape(self):
+        report = separation_report()
+        assert report["payment_path_well_formed_as_deal"] is False
+        assert report["all_abort_acceptable_for_deals"] is True
+        assert report["cyclic_deal_expressible_as_payment"] is False
+        assert report["path_deal_expressible_as_payment"] is True

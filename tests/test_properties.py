@@ -1,0 +1,199 @@
+"""Tests: property checkers — holds / violated / vacuous paths."""
+
+import pytest
+
+from repro.core.problem import PropertyId
+from repro.core.session import PaymentSession
+from repro.core.topology import PaymentTopology
+from repro.net.adversary import CertificateWithholdingAdversary
+from repro.net.timing import PartialSynchrony, Synchronous
+from repro.properties import (
+    AliceSecurity,
+    BobSecurity,
+    CertificateConsistency,
+    ConnectorSecurity,
+    EscrowSecurity,
+    EventualTermination,
+    Status,
+    StrongLiveness,
+    TimeBoundedTermination,
+    WeakLiveness,
+    check_definition1,
+    check_definition2,
+    consistency_verdict,
+)
+from repro.protocols.weak.tm import TrustedPartyBackend
+
+
+def _honest_outcome(seed=0, n=2):
+    topo = PaymentTopology.linear(n)
+    return PaymentSession(topo, "timebounded", Synchronous(1.0), seed=seed).run()
+
+
+def _withheld_outcome(seed=1, n=2):
+    topo = PaymentTopology.linear(n)
+    return PaymentSession(
+        topo,
+        "timebounded",
+        PartialSynchrony(gst=500.0, delta=1.0),
+        adversary=CertificateWithholdingAdversary(),
+        seed=seed,
+        protocol_options={"delta": 1.0},
+    ).run()
+
+
+def _byzantine_outcome(byz, seed=2, n=2):
+    topo = PaymentTopology.linear(n)
+    return PaymentSession(
+        topo, "timebounded", Synchronous(1.0), seed=seed, byzantine=byz
+    ).run()
+
+
+class TestSafetyCheckers:
+    def test_es_holds_on_honest_run(self):
+        v = EscrowSecurity().check(_honest_outcome())
+        assert v.status is Status.HOLDS
+
+    def test_es_vacuous_when_all_escrows_byzantine(self):
+        outcome = _byzantine_outcome(
+            {"e0": "escrow_no_refund", "e1": "escrow_no_refund"}
+        )
+        assert EscrowSecurity().check(outcome).status is Status.VACUOUS
+
+    def test_cs1_holds_with_certificate(self):
+        v = AliceSecurity(cert_kinds=("chi",)).check(_honest_outcome())
+        assert v.status is Status.HOLDS
+
+    def test_cs1_vacuous_when_alice_escrow_byzantine(self):
+        outcome = _byzantine_outcome({"e0": "escrow_steal_deposit"})
+        v = AliceSecurity(cert_kinds=("chi",)).check(outcome)
+        assert v.status is Status.VACUOUS
+
+    def test_cs2_holds_on_payment(self):
+        v = BobSecurity().check(_honest_outcome())
+        assert v.status is Status.HOLDS
+
+    def test_cs2_holds_when_chi_never_issued(self):
+        outcome = _byzantine_outcome({"c0": "crash_immediately"})
+        # Bob never terminates here, so the "upon termination" clause is
+        # vacuous; use a refund run where Bob terminates instead:
+        outcome2 = _byzantine_outcome({"c2": "bob_never_signs"})
+        # Byzantine Bob makes CS2 vacuous:
+        assert BobSecurity().check(outcome2).status is Status.VACUOUS
+
+    def test_cs3_holds_on_success_and_refund(self):
+        assert ConnectorSecurity().check(_honest_outcome(n=3)).status is Status.HOLDS
+        refund = _byzantine_outcome({"c3": "bob_never_signs"}, n=3)
+        assert ConnectorSecurity().check(refund).status is Status.HOLDS
+
+    def test_cs3_vacuous_without_connectors(self):
+        outcome = _honest_outcome(n=1)
+        assert ConnectorSecurity().check(outcome).status is Status.VACUOUS
+
+    def test_cc_vacuous_without_decisions(self):
+        assert CertificateConsistency().check(_honest_outcome()).status is Status.VACUOUS
+
+    def test_cc_violated_by_equivocating_tm(self):
+        topo = PaymentTopology.linear(2)
+        outcome = PaymentSession(
+            topo, "weak", Synchronous(1.0), seed=3,
+            protocol_options={
+                "tm": TrustedPartyBackend(equivocate=True),
+                "patience_setup": 1000.0, "patience_decision": 1000.0,
+            },
+        ).run()
+        assert CertificateConsistency().check(outcome).status is Status.VIOLATED
+
+    def test_cc_holds_on_single_decision(self):
+        topo = PaymentTopology.linear(2)
+        outcome = PaymentSession(
+            topo, "weak", Synchronous(1.0), seed=3,
+            protocol_options={
+                "tm": "trusted",
+                "patience_setup": 1000.0, "patience_decision": 1000.0,
+            },
+        ).run()
+        assert CertificateConsistency().check(outcome).status is Status.HOLDS
+
+
+class TestLivenessCheckers:
+    def test_strong_liveness_holds(self):
+        assert StrongLiveness().check(_honest_outcome()).status is Status.HOLDS
+
+    def test_strong_liveness_vacuous_with_byzantine(self):
+        outcome = _byzantine_outcome({"c2": "bob_never_signs"})
+        assert StrongLiveness().check(outcome).status is Status.VACUOUS
+
+    def test_strong_liveness_violated_under_withholding(self):
+        assert StrongLiveness().check(_withheld_outcome()).status is Status.VIOLATED
+
+    def test_eventual_termination_holds(self):
+        assert EventualTermination().check(_honest_outcome()).status is Status.HOLDS
+
+    def test_eventual_termination_violated_for_stuck_bob(self):
+        outcome = _withheld_outcome()
+        v = EventualTermination().check(outcome)
+        assert v.status is Status.VIOLATED
+        assert "c2" in v.detail
+
+    def test_time_bounded_accepts_within_bound(self):
+        outcome = _honest_outcome()
+        assert TimeBoundedTermination(1e6).check(outcome).status is Status.HOLDS
+
+    def test_time_bounded_rejects_beyond_bound(self):
+        outcome = _honest_outcome()
+        assert TimeBoundedTermination(1e-6).check(outcome).status is Status.VIOLATED
+
+    def test_time_bounded_validates_bound(self):
+        with pytest.raises(ValueError):
+            TimeBoundedTermination(0.0)
+
+    def test_weak_liveness_vacuous_when_impatient(self):
+        outcome = _honest_outcome()
+        assert WeakLiveness(patient=False).check(outcome).status is Status.VACUOUS
+
+    def test_weak_liveness_holds_when_patient_and_paid(self):
+        outcome = _honest_outcome()
+        assert WeakLiveness(patient=True).check(outcome).status is Status.HOLDS
+
+
+class TestSuites:
+    def test_consistency_holds_on_honest(self):
+        assert consistency_verdict(_honest_outcome()).status is Status.HOLDS
+
+    def test_consistency_vacuous_on_byzantine(self):
+        outcome = _byzantine_outcome({"c2": "bob_never_signs"})
+        assert consistency_verdict(outcome).status is Status.VACUOUS
+
+    def test_definition1_report_structure(self):
+        report = check_definition1(_honest_outcome(), termination_bound=100.0)
+        ids = {v.property_id for v in report.verdicts}
+        assert PropertyId.T_BOUNDED in ids
+        assert PropertyId.CC not in ids
+        assert report.all_ok
+
+    def test_definition1_eventual_variant(self):
+        report = check_definition1(_honest_outcome())
+        ids = {v.property_id for v in report.verdicts}
+        assert PropertyId.T_EVENTUAL in ids
+
+    def test_definition2_report_structure(self):
+        topo = PaymentTopology.linear(2)
+        outcome = PaymentSession(
+            topo, "weak", Synchronous(1.0), seed=3,
+            protocol_options={
+                "tm": "trusted",
+                "patience_setup": 1000.0, "patience_decision": 1000.0,
+            },
+        ).run()
+        report = check_definition2(outcome, patient=True)
+        ids = {v.property_id for v in report.verdicts}
+        assert PropertyId.CC in ids and PropertyId.L_WEAK in ids
+        assert report.all_ok
+
+    def test_report_helpers(self):
+        report = check_definition1(_honest_outcome())
+        assert report.status_of(PropertyId.ES) is Status.HOLDS
+        assert report.status_of(PropertyId.CC) is None
+        assert "ES" in report.summary()
+        assert report.by_property()[PropertyId.ES].ok

@@ -1,0 +1,112 @@
+"""Unit tests: event records and the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventPriority, make_event
+from repro.sim.queue import EventQueue
+
+
+def _noop():
+    return None
+
+
+class TestEvent:
+    def test_sort_key_orders_by_time_first(self):
+        early = make_event(1.0, _noop)
+        late = make_event(2.0, _noop)
+        assert early < late
+
+    def test_sort_key_breaks_time_ties_by_priority(self):
+        delivery = make_event(1.0, _noop, priority=EventPriority.DELIVERY)
+        timer = make_event(1.0, _noop, priority=EventPriority.TIMER)
+        assert delivery < timer
+
+    def test_sort_key_breaks_full_ties_by_insertion_order(self):
+        first = make_event(1.0, _noop, priority=EventPriority.TIMER)
+        second = make_event(1.0, _noop, priority=EventPriority.TIMER)
+        assert first < second
+
+    def test_cancel_marks_dead(self):
+        event = make_event(1.0, _noop)
+        assert event.alive
+        event.cancel()
+        assert not event.alive
+
+    def test_fire_invokes_callback_with_args(self):
+        seen = []
+        event = make_event(0.0, seen.append, 42)
+        event.fire()
+        assert seen == [42]
+
+    def test_delivery_priority_is_below_timer(self):
+        # A message arriving at the same instant as a deadline counts as
+        # "in time" — the ordering the protocols rely on.
+        assert EventPriority.DELIVERY < EventPriority.TIMER
+
+
+class TestEventQueue:
+    def test_pop_returns_in_time_order(self):
+        queue = EventQueue()
+        times = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for t in times:
+            queue.push(make_event(t, _noop))
+        popped = [queue.pop().time for _ in range(len(times))]
+        assert popped == sorted(times)
+
+    def test_len_counts_live_events_only(self):
+        queue = EventQueue()
+        keep = queue.push(make_event(1.0, _noop))
+        drop = queue.push(make_event(2.0, _noop))
+        assert len(queue) == 2
+        drop.cancel()
+        queue.note_cancelled(drop)
+        assert len(queue) == 1
+        assert keep.alive
+
+    def test_pop_skips_cancelled(self):
+        queue = EventQueue()
+        dead = queue.push(make_event(1.0, _noop))
+        live = queue.push(make_event(2.0, _noop))
+        dead.cancel()
+        queue.note_cancelled(dead)
+        assert queue.pop() is live
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        event = queue.push(make_event(1.0, _noop))
+        assert queue.peek() is event
+        assert len(queue) == 1
+
+    def test_peek_time_none_when_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_peek_skips_cancelled_head(self):
+        queue = EventQueue()
+        dead = queue.push(make_event(1.0, _noop))
+        live = queue.push(make_event(2.0, _noop))
+        dead.cancel()
+        queue.note_cancelled(dead)
+        assert queue.peek() is live
+
+    def test_snapshot_sorted_orders_by_firing(self):
+        queue = EventQueue()
+        a = queue.push(make_event(3.0, _noop))
+        b = queue.push(make_event(1.0, _noop))
+        assert queue.snapshot_sorted() == [b, a]
+
+    def test_clear_empties(self):
+        queue = EventQueue()
+        queue.push(make_event(1.0, _noop))
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(make_event(1.0, _noop))
+        assert queue

@@ -1,0 +1,179 @@
+"""Unit tests: the simulation kernel."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import EventPriority
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_schedule_relative_delay(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+        assert sim.now == 5.0
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule_at(3.0, lambda: None)
+        sim.run()
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_infinite_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(float("inf"), lambda: None)
+
+    def test_past_time_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        sim.cancel(event)
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending_events == 0
+
+
+class TestRunLoop:
+    def test_run_executes_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, 2)
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(3.0, order.append, 3)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_same_time_priority_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "timer", priority=EventPriority.TIMER)
+        sim.schedule(1.0, order.append, "delivery", priority=EventPriority.DELIVERY)
+        sim.run()
+        assert order == ["delivery", "timer"]
+
+    def test_until_horizon_leaves_future_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(10.0, seen.append, 10)
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.pending_events == 1
+        assert sim.now == 5.0
+
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, 5)
+        sim.run(until=5.0)
+        assert seen == [5]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+        sim.schedule(1.0, reschedule)
+        executed = sim.run(max_events=10)
+        assert executed == 10
+
+    def test_stop_condition_halts(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.add_stop_condition(lambda s: s.now >= 3.0)
+        sim.run()
+        assert sim.now == 3.0
+
+    def test_stop_method_halts_after_current_event(self):
+        sim = Simulator()
+        seen = []
+        def first():
+            seen.append(1)
+            sim.stop()
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, seen.append, 2)
+        sim.run()
+        assert seen == [1]
+
+    def test_run_returns_executed_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run() == 5
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        error = {}
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                error["e"] = exc
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert "e" in error
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+        sim.schedule(1.0, chain, 1)
+        sim.run()
+        assert seen == [1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def build_and_run(seed):
+            sim = Simulator(seed=seed)
+            order = []
+            rng = sim.rng.stream("jitter")
+            for i in range(20):
+                sim.schedule(rng.uniform(0, 10), order.append, i)
+            sim.run()
+            return order
+
+        assert build_and_run(7) == build_and_run(7)
+
+    def test_different_seeds_differ(self):
+        def build_and_run(seed):
+            sim = Simulator(seed=seed)
+            order = []
+            rng = sim.rng.stream("jitter")
+            for i in range(20):
+                sim.schedule(rng.uniform(0, 10), order.append, i)
+            sim.run()
+            return order
+
+        assert build_and_run(1) != build_and_run(2)
