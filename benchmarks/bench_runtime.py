@@ -1,0 +1,112 @@
+"""Benchmark: serial vs parallel sweep execution.
+
+Two faces:
+
+* under pytest (with the rest of ``benchmarks/``) it asserts the
+  runtime's core guarantee — a parallel sweep is byte-identical to the
+  serial one — and, on machines with enough cores, a real speedup;
+* as a script it measures the wall-clock speedup of the process-pool
+  executor on the full E1+E2 sweep::
+
+      PYTHONPATH=src python benchmarks/bench_runtime.py --jobs 4
+
+The speedup ceiling is ``min(jobs, physical cores)``; on a 4-core
+machine the full E1+E2 sweep (410 trials) comfortably exceeds 2x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import pytest
+
+from repro.experiments import AGGREGATORS, SWEEPS, render_table
+from repro.runtime import ParallelExecutor, SerialExecutor, SweepSpec
+
+
+def _combined_sweep(exp_ids, quick: bool, seed: int = 0) -> SweepSpec:
+    sweep = SweepSpec(sweep_id="+".join(exp_ids))
+    for exp_id in exp_ids:
+        sweep.extend(SWEEPS[exp_id](quick=quick, seed=seed))
+    return sweep
+
+
+def measure(exp_ids, jobs: int, quick: bool = False):
+    """Run the combined sweep serially and with ``jobs`` workers."""
+    sweep = _combined_sweep(exp_ids, quick=quick)
+    t0 = time.perf_counter()
+    serial = SerialExecutor().run(sweep)
+    t_serial = time.perf_counter() - t0
+    with ParallelExecutor(jobs=jobs) as executor:
+        t0 = time.perf_counter()
+        parallel = executor.run(sweep)
+        t_parallel = time.perf_counter() - t0
+    identical = [r.values for r in serial] == [r.values for r in parallel]
+    return {
+        "trials": len(sweep),
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel else float("inf"),
+        "identical": identical,
+    }
+
+
+def test_parallel_sweep_identical_to_serial(benchmark):
+    """E1+E2 quick sweep: 4-worker records match serial byte-for-byte."""
+    sweep = _combined_sweep(["E1", "E2"], quick=True)
+    serial = SerialExecutor().run(sweep)
+    with ParallelExecutor(jobs=4) as executor:
+        parallel = benchmark.pedantic(
+            executor.run, args=(sweep,), iterations=1, rounds=1
+        )
+    assert [r.values for r in parallel] == [r.values for r in serial]
+    assert [r.spec for r in parallel] == [r.spec for r in serial]
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup demonstration needs >= 4 physical cores",
+)
+def test_parallel_speedup(benchmark):
+    """>= 2x wall-clock on the full E1+E2 sweep with 4 workers."""
+    stats = benchmark.pedantic(
+        measure, args=(["E1", "E2"], 4), kwargs={"quick": False},
+        iterations=1, rounds=1,
+    )
+    assert stats["identical"]
+    assert stats["speedup"] >= 2.0, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "experiments", nargs="*", default=["E1", "E2"], metavar="EXP"
+    )
+    args = parser.parse_args()
+    exp_ids = [e.upper() for e in args.experiments] or ["E1", "E2"]
+    mode = "quick" if args.quick else "full"
+    print(
+        f"sweep {'+'.join(exp_ids)} ({mode}), jobs={args.jobs}, "
+        f"cores={os.cpu_count()}"
+    )
+    stats = measure(exp_ids, args.jobs, quick=args.quick)
+    print(
+        f"trials={stats['trials']}  serial={stats['serial_s']:.2f}s  "
+        f"parallel={stats['parallel_s']:.2f}s  "
+        f"speedup={stats['speedup']:.2f}x  identical={stats['identical']}"
+    )
+    # Show one aggregated table to prove records feed aggregation as-is:
+    sweep = SWEEPS["E1"](quick=args.quick)
+    with ParallelExecutor(jobs=args.jobs) as executor:
+        result = AGGREGATORS["E1"](executor.run(sweep))
+    print()
+    print(render_table(result))
+    return 0 if stats["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

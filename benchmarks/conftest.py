@@ -1,9 +1,12 @@
 """Shared helpers for the benchmark harness.
 
 Every benchmark regenerates one of the reproduction's tables/figures
-(see EXPERIMENTS.md), asserts its headline claim, and prints the table
-so ``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
-evaluation in one command.
+(see EXPERIMENTS.md), asserts its headline claim, and prints the table.
+The files are named ``bench_*.py`` (outside pytest's default glob), so
+collect them explicitly::
+
+    PYTHONPATH=src:benchmarks python -m pytest benchmarks \
+        -o python_files='bench_*.py' --benchmark-only -s
 """
 
 from __future__ import annotations

@@ -2,9 +2,17 @@
 
 Usage::
 
-    python -m repro                  # all experiments, quick mode
-    python -m repro E1 E3 --full     # selected experiments, full sweeps
-    repro-experiments --list
+    python -m repro                    # all experiments, quick mode
+    python -m repro E1 E3 --full       # selected experiments, full sweeps
+    python -m repro --jobs 4           # fan trials out over 4 processes
+    REPRO_JOBS=4 python -m repro E2    # same, via the environment
+    repro-experiments --list           # ids + one-line descriptions
+
+Every experiment is a declarative sweep (see :mod:`repro.runtime`):
+trials are pure functions of their spec, so ``--jobs N`` runs them on a
+process pool and still produces byte-identical tables to a serial run.
+``--full`` widens the sweeps (more seeds, sizes, and drift points); the
+default quick mode keeps the whole evaluation in the tens of seconds.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ import sys
 import time
 from typing import List, Optional
 
-from .experiments import EXPERIMENTS, render_table
+from .experiments import EXPERIMENTS, experiment_doc, render_table
+from .runtime import default_jobs, resolve_executor
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -38,6 +47,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for sweep trials (default: $REPRO_JOBS or 1; "
+            "results are byte-identical whatever N)"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     parser.add_argument(
@@ -49,10 +69,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for exp_id, fn in sorted(EXPERIMENTS.items()):
-            doc = (fn.__module__ or "").rsplit(".", 1)[-1]
-            print(f"{exp_id}: {doc}")
+        for exp_id in sorted(EXPERIMENTS):
+            print(f"{exp_id}: {experiment_doc(exp_id)}")
         return 0
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
 
     selected = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
     unknown = [e for e in selected if e not in EXPERIMENTS]
@@ -60,15 +83,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown experiments: {unknown}; known: {sorted(EXPERIMENTS)}")
 
     sections = []
-    for exp_id in selected:
-        t0 = time.perf_counter()
-        result = EXPERIMENTS[exp_id](quick=not args.full, seed=args.seed)
-        elapsed = time.perf_counter() - t0
-        table = render_table(result)
-        print(table)
-        print(f"({exp_id} completed in {elapsed:.1f}s)")
-        print()
-        sections.append(f"{table}\n({exp_id} completed in {elapsed:.1f}s)\n")
+    # One executor for the whole evaluation: the worker pool spins up
+    # once and is reused by every experiment's sweep.
+    with resolve_executor(jobs=jobs) as executor:
+        for exp_id in selected:
+            t0 = time.perf_counter()
+            result = EXPERIMENTS[exp_id](
+                quick=not args.full, seed=args.seed, executor=executor
+            )
+            elapsed = time.perf_counter() - t0
+            table = render_table(result)
+            footer = f"({exp_id} completed in {elapsed:.1f}s, jobs={jobs})"
+            print(table)
+            print(footer)
+            print()
+            sections.append(f"{table}\n{footer}\n")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             mode = "full" if args.full else "quick"

@@ -8,18 +8,55 @@ within the a-priori bound.
 
 from __future__ import annotations
 
-from ..core.session import PaymentSession
-from ..core.topology import PaymentTopology
-from ..net.timing import Synchronous
+from typing import Any, Dict
+
 from ..properties import check_definition1
-from .harness import ExperimentResult, fraction, mean, seeds_for
+from ..runtime import SweepResult, SweepSpec, resolve_executor
+from .harness import (
+    ExperimentResult,
+    fraction,
+    mean,
+    payment_session,
+    seeds_for,
+)
 
 DELTA = 1.0
 EPSILON = 0.05
 RHO = 0.01
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def trial(spec) -> Dict[str, Any]:
+    """One payment run; returns the scalars the table aggregates."""
+    session = payment_session(spec)
+    outcome = session.run()
+    bound = session.protocol_instance.params.global_termination_bound()
+    report = check_definition1(outcome, termination_bound=bound)
+    return {
+        "bob_paid": outcome.bob_paid,
+        "def1_ok": report.all_ok,
+        "term_time": max(
+            t for t in outcome.termination_times.values() if t is not None
+        ),
+        "messages": outcome.messages_sent,
+        "bound": bound,
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    sizes = [1, 2, 4] if quick else [1, 2, 4, 6, 8]
+    return SweepSpec.grid(
+        "E1",
+        trial,
+        seed,
+        axes={"n": sizes, "s": seeds_for(quick)},
+        protocol="timebounded",
+        timing=("synchronous", {"delta": DELTA}),
+        rho=RHO,
+        protocol_options={"epsilon": EPSILON},
+    )
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E1",
         title="time-bounded protocol under synchrony (Theorem 1)",
@@ -33,39 +70,17 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "bound", "mean_msgs",
         ],
     )
-    sizes = [1, 2, 4] if quick else [1, 2, 4, 6, 8]
-    for n in sizes:
-        paid, ok, terms, msgs = [], [], [], []
-        bound = None
-        for s in seeds_for(quick):
-            topo = PaymentTopology.linear(n, payment_id=f"e1-{n}-{s}")
-            session = PaymentSession(
-                topo,
-                "timebounded",
-                Synchronous(DELTA),
-                seed=seed * 1000 + s,
-                rho=RHO,
-                protocol_options={"epsilon": EPSILON},
-            )
-            outcome = session.run()
-            bound = session.protocol_instance.params.global_termination_bound()
-            report = check_definition1(outcome, termination_bound=bound)
-            paid.append(outcome.bob_paid)
-            ok.append(report.all_ok)
-            terms.append(
-                max(
-                    t for t in outcome.termination_times.values() if t is not None
-                )
-            )
-            msgs.append(outcome.messages_sent)
+    sweep.raise_any()
+    for n in sweep.distinct("n"):
+        records = sweep.select(n=n)
         result.add_row(
             n=n,
-            runs=len(paid),
-            bob_paid=fraction(paid),
-            def1_ok=fraction(ok),
-            max_term_time=max(terms),
-            bound=bound,
-            mean_msgs=mean(msgs),
+            runs=len(records),
+            bob_paid=fraction(r["bob_paid"] for r in records),
+            def1_ok=fraction(r["def1_ok"] for r in records),
+            max_term_time=max(r["term_time"] for r in records),
+            bound=records[-1]["bound"],
+            mean_msgs=mean(r["messages"] for r in records),
         )
     result.note(
         f"delta={DELTA}, epsilon={EPSILON}, rho={RHO}; bob_paid and def1_ok "
@@ -74,4 +89,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

@@ -22,12 +22,12 @@ tuned window ``(1+ρ)·H_1 + m`` never fails.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from ..clocks import extremal_clock
-from ..core.session import PaymentSession
-from ..core.topology import PaymentTopology
-from ..net.timing import Synchronous
 from ..properties import check_definition1
-from .harness import ExperimentResult, fraction, seeds_for
+from ..runtime import SweepResult, SweepSpec, resolve_executor
+from .harness import ExperimentResult, fraction, payment_session, seeds_for
 
 DELTA = 1.0
 EPSILON = 0.05
@@ -36,28 +36,62 @@ N = 4
 FAST_ESCROW = "e1"
 
 
-def _session(rho: float, drift_tuned: bool, seed: int) -> PaymentSession:
-    topo = PaymentTopology.linear(N, payment_id=f"e2-{rho}-{drift_tuned}-{seed}")
-    clocks = {FAST_ESCROW: extremal_clock(rho, fast=True)}
-    return PaymentSession(
-        topo,
-        "timebounded",
+def trial(spec) -> Dict[str, Any]:
+    rho = spec.opt("rho_clock")
+    session = payment_session(
+        spec,
         # All delays exactly at the bound: the adversarially slow network
         # the calculus must survive.
-        Synchronous(DELTA, min_delay=DELTA),
-        seed=seed,
-        clocks=clocks,
+        clocks={FAST_ESCROW: extremal_clock(rho, fast=True)},
         protocol_options={
             "epsilon": EPSILON,
             "rho": rho,
-            "drift_tuned": drift_tuned,
+            "drift_tuned": spec.opt("drift_tuned"),
             "margin": MARGIN,
             "processing_floor": EPSILON,  # pin processing at its bound
         },
     )
+    outcome = session.run()
+    report = check_definition1(outcome)
+    # A connector is monetarily harmed when her position has a negative
+    # component and is not the success position — she paid downstream
+    # without being paid upstream.  (If she is still waiting, the T
+    # violation covers her; the money damage is what this surfaces.)
+    harmed = any(
+        any(u < 0 for u in outcome.position_delta(c).values())
+        and not outcome.in_success_position(c)
+        for c in outcome.topology.connectors()
+    )
+    return {
+        "bob_paid": outcome.bob_paid,
+        "bad": not report.all_ok,
+        "harmed": harmed,
+        "props": sorted(v.property_id.value for v in report.violations()),
+    }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    rhos = (
+        [0.0, 0.005, 0.02, 0.05]
+        if quick
+        else [0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
+    )
+    return SweepSpec.grid(
+        "E2",
+        trial,
+        seed,
+        axes={
+            "rho_clock": rhos,
+            "drift_tuned": [False, True],
+            "s": seeds_for(quick, quick_count=5, full_count=15),
+        },
+        n=N,
+        protocol="timebounded",
+        timing=("synchronous", {"delta": DELTA, "min_delay": DELTA}),
+    )
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E2",
         title="drift-tuned vs naive timeout calculus (the paper's fix)",
@@ -72,36 +106,20 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "connector_harmed", "violated_props",
         ],
     )
-    rhos = [0.0, 0.005, 0.02, 0.05] if quick else [0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1]
-    for rho in rhos:
+    sweep.raise_any()
+    for rho in sweep.distinct("rho_clock"):
         for drift_tuned in (False, True):
-            paid, bad, harmed, props = [], [], [], set()
-            for s in seeds_for(quick, quick_count=5, full_count=15):
-                session = _session(rho, drift_tuned, seed * 100 + s)
-                outcome = session.run()
-                report = check_definition1(outcome)
-                paid.append(outcome.bob_paid)
-                bad.append(not report.all_ok)
-                # A connector is monetarily harmed when her position has
-                # a negative component and is not the success position —
-                # she paid downstream without being paid upstream.  (If
-                # she is still waiting, the T violation covers her; the
-                # money damage is what this column surfaces.)
-                harmed.append(
-                    any(
-                        any(u < 0 for u in outcome.position_delta(c).values())
-                        and not outcome.in_success_position(c)
-                        for c in outcome.topology.connectors()
-                    )
-                )
-                props |= {v.property_id.value for v in report.violations()}
+            records = sweep.select(rho_clock=rho, drift_tuned=drift_tuned)
+            props: set = set()
+            for record in records:
+                props |= set(record["props"])
             result.add_row(
                 rho=rho,
                 calculus="tuned" if drift_tuned else "naive",
-                runs=len(paid),
-                bob_paid=fraction(paid),
-                violations=fraction(bad),
-                connector_harmed=fraction(harmed),
+                runs=len(records),
+                bob_paid=fraction(r["bob_paid"] for r in records),
+                violations=fraction(r["bad"] for r in records),
+                connector_harmed=fraction(r["harmed"] for r in records),
                 violated_props=",".join(sorted(props)) or "-",
             )
     result.note(
@@ -113,4 +131,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

@@ -18,19 +18,119 @@ the same adversary: it aborts safely and terminates.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from ..core.params import TimingAssumptions, compute_params
-from ..core.session import PaymentSession
-from ..core.topology import PaymentTopology
-from ..net.adversary import CertificateWithholdingAdversary
-from ..net.timing import PartialSynchrony
 from ..properties import check_definition1, check_definition2
-from .harness import ExperimentResult
+from ..runtime import SweepResult, SweepSpec, resolve_executor
+from .harness import ExperimentResult, payment_session
 
 EPSILON = 0.05
 N = 3
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def trial(spec) -> Dict[str, Any]:
+    from ..net.adversary import CertificateWithholdingAdversary
+
+    variant = spec.opt("variant")
+    if variant == "bounded":
+        assumed = spec.opt("assumed_delta")
+        params = compute_params(
+            N, TimingAssumptions(delta=assumed, epsilon=EPSILON, rho=0.0)
+        )
+        # Adaptive adversary: pick GST beyond the whole timeout horizon.
+        gst = 4.0 * params.global_termination_bound()
+        session = payment_session(
+            spec,
+            timing=("partial", {"gst": gst, "delta": 1.0}),
+            adversary=CertificateWithholdingAdversary(),
+            protocol_options={"delta": assumed, "epsilon": EPSILON},
+        )
+        outcome = session.run()
+        report = check_definition1(outcome)
+    elif variant == "no_timeout":
+        gst = spec.opt("gst")
+        session = payment_session(
+            spec, adversary=CertificateWithholdingAdversary()
+        )
+        outcome = session.run()
+        report = check_definition1(outcome)
+    elif variant == "weak":
+        gst = spec.opt("gst")
+        session = payment_session(
+            spec, adversary=CertificateWithholdingAdversary()
+        )
+        outcome = session.run()
+        report = check_definition2(outcome, patient=False)
+    else:  # pragma: no cover - builder/trial mismatch
+        raise ValueError(f"unknown E3 variant: {variant!r}")
+    return {
+        "gst": gst,
+        "chi_issued": outcome.chi_issued(),
+        "bob_paid": outcome.bob_paid,
+        "def_ok": report.all_ok,
+        "violated": ",".join(
+            sorted(v.property_id.value for v in report.violations())
+        )
+        or "-",
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    sweep = SweepSpec(sweep_id="E3")
+    assumed_deltas = [1.0, 10.0] if quick else [1.0, 10.0, 100.0]
+    for assumed in assumed_deltas:
+        sweep.add(
+            trial,
+            seed,
+            ("bounded", assumed),
+            variant="bounded",
+            assumed_delta=assumed,
+            protocol_label="timebounded",
+            n=N,
+            protocol="timebounded",
+            payment_id=f"e3-{assumed}",
+        )
+    # The no-timeout horn: money stays escrowed, nobody terminates.
+    sweep.add(
+        trial,
+        seed,
+        ("no_timeout",),
+        variant="no_timeout",
+        assumed_delta="inf",
+        protocol_label="timebounded/no-timeout",
+        n=N,
+        protocol="timebounded",
+        timing=("partial", {"gst": 5_000.0, "delta": 1.0}),
+        gst=5_000.0,
+        horizon=20_000.0,
+        protocol_options={"delta": 1.0, "epsilon": EPSILON, "no_timeout": True},
+        payment_id="e3-notimeout",
+    )
+    # Contrast: the Definition 2 protocol under the same adversary.
+    sweep.add(
+        trial,
+        seed,
+        ("weak",),
+        variant="weak",
+        assumed_delta="-",
+        protocol_label="weak (Def 2)",
+        n=N,
+        protocol="weak",
+        timing=("partial", {"gst": 500.0, "delta": 1.0}),
+        gst=500.0,
+        horizon=50_000.0,
+        protocol_options={
+            "tm": "trusted",
+            "patience_setup": 50.0,
+            "patience_decision": 50.0,
+        },
+        payment_id="e3-weak",
+    )
+    return sweep
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E3",
         title="no eventually-terminating protocol under partial synchrony (Theorem 2)",
@@ -44,85 +144,17 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "def_ok", "violated",
         ],
     )
-    assumed_deltas = [1.0, 10.0] if quick else [1.0, 10.0, 100.0]
-    for assumed in assumed_deltas:
-        params = compute_params(
-            N, TimingAssumptions(delta=assumed, epsilon=EPSILON, rho=0.0)
-        )
-        # Adaptive adversary: pick GST beyond the whole timeout horizon.
-        gst = 4.0 * params.global_termination_bound()
-        topo = PaymentTopology.linear(N, payment_id=f"e3-{assumed}")
-        session = PaymentSession(
-            topo,
-            "timebounded",
-            PartialSynchrony(gst=gst, delta=1.0),
-            adversary=CertificateWithholdingAdversary(),
-            seed=seed,
-            protocol_options={"delta": assumed, "epsilon": EPSILON},
-        )
-        outcome = session.run()
-        report = check_definition1(outcome)
+    sweep.raise_any()
+    for record in sweep:
         result.add_row(
-            protocol="timebounded",
-            assumed_delta=assumed,
-            gst=gst,
-            chi_issued=outcome.chi_issued(),
-            bob_paid=outcome.bob_paid,
-            def_ok=report.all_ok,
-            violated=",".join(
-                sorted(v.property_id.value for v in report.violations())
-            ) or "-",
+            protocol=record.spec.opt("protocol_label"),
+            assumed_delta=record.spec.opt("assumed_delta"),
+            gst=record["gst"],
+            chi_issued=record["chi_issued"],
+            bob_paid=record["bob_paid"],
+            def_ok=record["def_ok"],
+            violated=record["violated"],
         )
-    # The no-timeout horn: money stays escrowed, nobody terminates.
-    topo = PaymentTopology.linear(N, payment_id="e3-notimeout")
-    session = PaymentSession(
-        topo,
-        "timebounded",
-        PartialSynchrony(gst=5_000.0, delta=1.0),
-        adversary=CertificateWithholdingAdversary(),
-        seed=seed,
-        horizon=20_000.0,
-        protocol_options={"delta": 1.0, "epsilon": EPSILON, "no_timeout": True},
-    )
-    outcome = session.run()
-    report = check_definition1(outcome)
-    result.add_row(
-        protocol="timebounded/no-timeout",
-        assumed_delta="inf",
-        gst=5_000.0,
-        chi_issued=outcome.chi_issued(),
-        bob_paid=outcome.bob_paid,
-        def_ok=report.all_ok,
-        violated=",".join(sorted(v.property_id.value for v in report.violations()))
-        or "-",
-    )
-    # Contrast: the Definition 2 protocol under the same adversary.
-    topo = PaymentTopology.linear(N, payment_id="e3-weak")
-    session = PaymentSession(
-        topo,
-        "weak",
-        PartialSynchrony(gst=500.0, delta=1.0),
-        adversary=CertificateWithholdingAdversary(),
-        seed=seed,
-        horizon=50_000.0,
-        protocol_options={
-            "tm": "trusted",
-            "patience_setup": 50.0,
-            "patience_decision": 50.0,
-        },
-    )
-    outcome = session.run()
-    report = check_definition2(outcome, patient=False)
-    result.add_row(
-        protocol="weak (Def 2)",
-        assumed_delta="-",
-        gst=500.0,
-        chi_issued=outcome.chi_issued(),
-        bob_paid=outcome.bob_paid,
-        def_ok=report.all_ok,
-        violated=",".join(sorted(v.property_id.value for v in report.violations()))
-        or "-",
-    )
     result.note(
         "the adversary holds every chi message as long as the timing model "
         "allows; GST is chosen adaptively per protocol instance."
@@ -130,4 +162,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

@@ -16,21 +16,29 @@ Part B probes certificate consistency (CC):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..consensus.dls import Notary, NotaryBehavior
 from ..crypto.certificates import Decision
 from ..crypto.keys import KeyRing
-from ..core.session import PaymentSession
-from ..core.topology import PaymentTopology
 from ..net.network import Network
-from ..net.timing import PartialSynchrony, Synchronous
+from ..net.timing import PartialSynchrony
 from ..properties import check_definition2
+from ..runtime import SweepResult, SweepSpec, resolve_executor
 from ..sim.kernel import Simulator
 from ..sim.trace import TraceKind
-from .harness import ExperimentResult
+from .harness import ExperimentResult, payment_session
 
 N_ESCROWS = 2
+
+BACKENDS = [
+    ("trusted", "trusted party"),
+    (("contract", {"block_interval": 1.0, "confirmations": 2}), "smart contract"),
+    (("committee", {"n_notaries": 4, "round_duration": 5.0}), "committee N=4"),
+]
+
+#: The attacker picks its schedule: best of this many seeds per row.
+ATTACK_SEEDS = 4
 
 
 def _committee_split_attack(
@@ -116,7 +124,95 @@ def _committee_split_attack(
     return honest_decisions, conflicting
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def trial(spec) -> Dict[str, Any]:
+    variant = spec.opt("variant")
+    if variant == "attack":
+        decisions, conflicting = _committee_split_attack(
+            spec.opt("n_notaries", 4), spec.opt("f_actual"), spec.seed
+        )
+        return {"decisions": sorted(decisions), "conflicting": conflicting}
+    if variant == "equivocating":
+        from ..protocols.weak.tm import TrustedPartyBackend
+
+        tm: Any = TrustedPartyBackend(equivocate=True)
+    else:
+        tm = spec.opt("tm")
+        # Specs carry plain lists; the TM registry expects tuples.
+        if isinstance(tm, (list, tuple)):
+            tm = (tm[0], dict(tm[1]))
+    outcome = payment_session(
+        spec,
+        protocol_options={
+            "tm": tm,
+            "patience_setup": 10_000.0,
+            "patience_decision": 10_000.0,
+        },
+    ).run()
+    report = check_definition2(outcome, patient=True)
+    if variant == "equivocating":
+        decision_time = float("nan")  # no single honest decision point
+    else:
+        first = outcome.trace.first(
+            predicate=lambda e: e.kind
+            in (TraceKind.CERT_ISSUED, TraceKind.CERT_RECEIVED)
+            and e.get("cert") in ("commit", "abort")
+        )
+        decision_time = first.time if first else float("nan")
+    return {
+        "decided": ",".join(sorted(outcome.decision_kinds_issued())) or "-",
+        "bob_paid": outcome.bob_paid,
+        "cc_ok": not [
+            v for v in report.violations() if v.property_id.value == "CC"
+        ],
+        "decision_time": decision_time,
+        "messages": outcome.messages_sent,
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    sweep = SweepSpec(sweep_id="E5")
+    common = dict(
+        n=N_ESCROWS,
+        protocol="weak",
+        timing=("synchronous", {"delta": 1.0}),
+        horizon=100_000.0,
+    )
+    for tm_spec, label in BACKENDS:
+        sweep.add(
+            trial,
+            seed,
+            ("backend", label),
+            variant="backend",
+            label=label,
+            tm=tm_spec,
+            payment_id=f"e5-{label}",
+            **common,
+        )
+    sweep.add(
+        trial,
+        seed,
+        ("equivocating",),
+        variant="equivocating",
+        label="trusted party, equivocating",
+        payment_id="e5-equiv",
+        **common,
+    )
+    fs = [0, 1, 2] if quick else [0, 1, 2, 3]
+    for f_actual in fs:
+        for s in range(ATTACK_SEEDS):
+            sweep.add(
+                trial,
+                seed,
+                ("attack", f_actual, s),
+                variant="attack",
+                f_actual=f_actual,
+                n_notaries=4,
+                s=s,
+            )
+    return sweep
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E5",
         title="transaction-manager realisations (trusted / contract / committee)",
@@ -130,79 +226,30 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "decision_time", "messages",
         ],
     )
-    # -- Part A: honest backends on the same payment --------------------
-    for tm_spec, label in [
-        ("trusted", "trusted party"),
-        (("contract", {"block_interval": 1.0, "confirmations": 2}), "smart contract"),
-        (("committee", {"n_notaries": 4, "round_duration": 5.0}), "committee N=4"),
-    ]:
-        topo = PaymentTopology.linear(N_ESCROWS, payment_id=f"e5-{label}")
-        session = PaymentSession(
-            topo,
-            "weak",
-            Synchronous(1.0),
-            seed=seed,
-            horizon=100_000.0,
-            protocol_options={
-                "tm": tm_spec,
-                "patience_setup": 10_000.0,
-                "patience_decision": 10_000.0,
-            },
-        )
-        outcome = session.run()
-        report = check_definition2(outcome, patient=True)
-        first = outcome.trace.first(
-            predicate=lambda e: e.kind
-            in (TraceKind.CERT_ISSUED, TraceKind.CERT_RECEIVED)
-            and e.get("cert") in ("commit", "abort")
-        )
+    sweep.raise_any()
+    for record in sweep.select(variant="backend") + sweep.select(
+        variant="equivocating"
+    ):
         result.add_row(
-            configuration=label,
-            decided=",".join(sorted(outcome.decision_kinds_issued())) or "-",
-            bob_paid=outcome.bob_paid,
-            cc_ok=not [
-                v for v in report.violations() if v.property_id.value == "CC"
-            ],
-            decision_time=first.time if first else float("nan"),
-            messages=outcome.messages_sent,
+            configuration=record.spec.opt("label"),
+            decided=record["decided"],
+            bob_paid=record["bob_paid"],
+            cc_ok=record["cc_ok"],
+            decision_time=record["decision_time"],
+            messages=record["messages"],
         )
-    # -- Part B: Byzantine TMs -------------------------------------------
-    from ..protocols.weak.tm import TrustedPartyBackend
-
-    topo = PaymentTopology.linear(N_ESCROWS, payment_id="e5-equiv")
-    session = PaymentSession(
-        topo,
-        "weak",
-        Synchronous(1.0),
-        seed=seed,
-        horizon=100_000.0,
-        protocol_options={
-            "tm": TrustedPartyBackend(equivocate=True),
-            "patience_setup": 10_000.0,
-            "patience_decision": 10_000.0,
-        },
-    )
-    outcome = session.run()
-    report = check_definition2(outcome, patient=True)
-    result.add_row(
-        configuration="trusted party, equivocating",
-        decided=",".join(sorted(outcome.decision_kinds_issued())) or "-",
-        bob_paid=outcome.bob_paid,
-        cc_ok=not [v for v in report.violations() if v.property_id.value == "CC"],
-        decision_time=float("nan"),
-        messages=outcome.messages_sent,
-    )
-    fs = [0, 1, 2] if quick else [0, 1, 2, 3]
-    attack_seeds = range(4)  # the attacker picks its schedule: best of 4
-    for f_actual in fs:
+    for f_actual in sweep.distinct("f_actual"):
+        if f_actual is None:
+            continue
         best_decisions: set = set()
         best_conflict = False
-        for s in attack_seeds:
-            decisions, conflicting = _committee_split_attack(4, f_actual, seed + s)
-            best_decisions |= decisions
-            best_conflict = best_conflict or conflicting
-            if best_conflict:
-                best_decisions = decisions
+        # The attacker gets its pick of schedules: the first conflicting
+        # seed wins outright, otherwise decisions accumulate.
+        for record in sweep.select(variant="attack", f_actual=f_actual):
+            best_decisions |= set(record["decisions"])
+            if record["conflicting"]:
+                best_decisions = set(record["decisions"])
+                best_conflict = True
                 break
         result.add_row(
             configuration=f"committee N=4, traitors={f_actual} (split attack)",
@@ -220,4 +267,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

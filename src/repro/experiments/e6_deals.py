@@ -15,6 +15,8 @@ Reproduces the comparison the paper draws with Herlihy–Liskov–Shrira:
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from ..deals import (
     DealMatrix,
     DealSession,
@@ -22,12 +24,120 @@ from ..deals import (
     build_timelock_deal,
     separation_report,
 )
-from ..net.adversary import EdgeDelayAdversary
-from ..net.timing import PartialSynchrony, Synchronous
-from .harness import ExperimentResult, fraction, seeds_for
+from ..runtime import SweepResult, SweepSpec, resolve_executor
+from .harness import ExperimentResult, build_timing, fraction, seeds_for
+
+SCENARIOS = [
+    ("timelock", "synchronous", "honest"),
+    ("timelock", "partial-synchrony", "delayed reveal"),
+    ("certified", "partial-synchrony", "honest, patient"),
+    ("certified", "partial-synchrony", "party 1 aborts first"),
+]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def _matrix(graph: str) -> DealMatrix:
+    kind, _, size = graph.partition("-")
+    parties = [f"p{i}" for i in range(int(size))]
+    if kind == "cycle":
+        return DealMatrix.cycle(parties)
+    if kind == "clique":
+        return DealMatrix.clique(parties)
+    raise ValueError(f"unknown deal graph: {graph!r}")
+
+
+def trial(spec) -> Dict[str, Any]:
+    from ..net.adversary import EdgeDelayAdversary
+
+    scenario = spec.opt("scenario")
+    builder = (
+        build_timelock_deal
+        if spec.opt("deal_protocol") == "timelock"
+        else build_certified_deal
+    )
+    adversary = None
+    if scenario == "delayed reveal":
+        adversary = EdgeDelayAdversary([("esc_1_2", "p1")])
+    byzantine = spec.opt("byzantine")
+    if byzantine:
+        # Deal byzantine maps are keyed by party *index*; JSON-ish spec
+        # options keep keys as given, so coerce back to int.
+        byzantine = {int(k): v for k, v in dict(byzantine).items()}
+    outcome = DealSession(
+        _matrix(spec.opt("graph")),
+        builder,
+        build_timing(spec.opt("timing")),
+        adversary=adversary,
+        seed=spec.seed,
+        byzantine=byzantine,
+        options=dict(spec.opt("options") or {}),
+        horizon=spec.opt("horizon", 100_000.0),
+    ).run()
+    return {
+        "safety": outcome.safety_ok(),
+        "termination": outcome.termination_ok(),
+        "strong_liveness": outcome.all_transfers_happened,
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    graphs = ["cycle-3", "clique-3"]
+    if not quick:
+        graphs.append("cycle-5")
+    sweep = SweepSpec(sweep_id="E6")
+    for graph in graphs:
+        # Timelock, synchrony, honest — the only sampled scenario:
+        for s in seeds_for(quick, quick_count=5, full_count=15):
+            sweep.add(
+                trial,
+                seed,
+                (graph, "timelock-sync", s),
+                graph=graph,
+                deal_protocol="timelock",
+                scenario="honest",
+                timing=("synchronous", {"delta": 1.0}),
+            )
+        # Timelock, partial synchrony, targeted reveal delay:
+        sweep.add(
+            trial,
+            seed,
+            (graph, "timelock-psync"),
+            graph=graph,
+            deal_protocol="timelock",
+            scenario="delayed reveal",
+            timing=(
+                "partial",
+                {"gst": 500.0, "delta": 0.2, "pre_gst_scale": 0.0},
+            ),
+        )
+        # Certified, partial synchrony, honest & patient:
+        sweep.add(
+            trial,
+            seed,
+            (graph, "certified-honest"),
+            graph=graph,
+            deal_protocol="certified",
+            scenario="honest, patient",
+            timing=("partial", {"gst": 10.0, "delta": 1.0}),
+            options={"patience": 500.0},
+            horizon=5_000.0,
+        )
+        # Certified, abort-first (strong liveness impossible):
+        sweep.add(
+            trial,
+            seed,
+            (graph, "certified-abort"),
+            graph=graph,
+            deal_protocol="certified",
+            scenario="party 1 aborts first",
+            timing=("partial", {"gst": 10.0, "delta": 1.0}),
+            byzantine={1: "abort_immediately"},
+            options={"patience": 500.0},
+            horizon=5_000.0,
+        )
+    return sweep
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E6",
         title="cross-chain deals (Herlihy et al.) vs payments (Section 5)",
@@ -42,80 +152,33 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "safety", "termination", "strong_liveness",
         ],
     )
-    graphs = [
-        ("cycle-3", DealMatrix.cycle(["p0", "p1", "p2"])),
-        ("clique-3", DealMatrix.clique(["p0", "p1", "p2"])),
-    ]
-    if not quick:
-        graphs.append(("cycle-5", DealMatrix.cycle([f"p{i}" for i in range(5)])))
-
-    for gname, matrix in graphs:
-        # Timelock, synchrony, honest:
-        safety, term, live = [], [], []
-        for s in seeds_for(quick, quick_count=5, full_count=15):
-            outcome = DealSession(
-                matrix, build_timelock_deal, Synchronous(1.0), seed=seed * 100 + s
-            ).run()
-            safety.append(outcome.safety_ok())
-            term.append(outcome.termination_ok())
-            live.append(outcome.all_transfers_happened)
+    sweep.raise_any()
+    for graph in sweep.distinct("graph"):
+        sampled = sweep.select(graph=graph, scenario="honest")
         result.add_row(
-            protocol="timelock", graph=gname, timing="synchronous",
+            protocol="timelock", graph=graph, timing="synchronous",
             scenario="honest",
-            safety=fraction(safety), termination=fraction(term),
-            strong_liveness=fraction(live),
+            safety=fraction(r["safety"] for r in sampled),
+            termination=fraction(r["termination"] for r in sampled),
+            strong_liveness=fraction(r["strong_liveness"] for r in sampled),
         )
-        # Timelock, partial synchrony, targeted reveal delay:
-        adversary = EdgeDelayAdversary([("esc_1_2", "p1")])
-        outcome = DealSession(
-            matrix,
-            build_timelock_deal,
-            PartialSynchrony(gst=500.0, delta=0.2, pre_gst_scale=0.0),
-            adversary=adversary,
-            seed=seed,
-        ).run()
-        result.add_row(
-            protocol="timelock", graph=gname, timing="partial-synchrony",
-            scenario="delayed reveal",
-            safety=outcome.safety_ok(), termination=outcome.termination_ok(),
-            strong_liveness=outcome.all_transfers_happened,
-        )
-        # Certified, partial synchrony, honest & patient:
-        outcome = DealSession(
-            matrix,
-            build_certified_deal,
-            PartialSynchrony(gst=10.0, delta=1.0),
-            seed=seed,
-            options={"patience": 500.0},
-            horizon=5_000.0,
-        ).run()
-        result.add_row(
-            protocol="certified", graph=gname, timing="partial-synchrony",
-            scenario="honest, patient",
-            safety=outcome.safety_ok(), termination=outcome.termination_ok(),
-            strong_liveness=outcome.all_transfers_happened,
-        )
-        # Certified, abort-first (strong liveness impossible):
-        outcome = DealSession(
-            matrix,
-            build_certified_deal,
-            PartialSynchrony(gst=10.0, delta=1.0),
-            seed=seed,
-            byzantine={1: "abort_immediately"},
-            options={"patience": 500.0},
-            horizon=5_000.0,
-        ).run()
-        result.add_row(
-            protocol="certified", graph=gname, timing="partial-synchrony",
-            scenario="party 1 aborts first",
-            safety=outcome.safety_ok(), termination=outcome.termination_ok(),
-            strong_liveness=outcome.all_transfers_happened,
-        )
-
+        for protocol, timing, scenario in SCENARIOS[1:]:
+            (record,) = sweep.select(graph=graph, scenario=scenario)
+            result.add_row(
+                protocol=protocol, graph=graph, timing=timing,
+                scenario=scenario,
+                safety=record["safety"],
+                termination=record["termination"],
+                strong_liveness=record["strong_liveness"],
+            )
     sep = separation_report()
     for key, value in sep.items():
         result.note(f"separation: {key} = {value}")
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

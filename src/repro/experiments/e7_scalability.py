@@ -5,47 +5,74 @@ as the path length grows.  The paper is a theory brief with no
 performance section; this figure documents the reproduction substrate
 itself: cost is linear-ish in path length (each hop adds a constant
 number of messages: G, $, P forward; χ, $ backward).
+
+The table reports the simulator's *deterministic* cost metrics only
+(messages, events, simulated end time), so it stays byte-identical
+across ``--jobs`` values like every other table.  Wall-clock cost is
+covered by the CLI's per-experiment footer and by the
+``benchmarks/`` suite (``bench_e7_scalability.py``, ``bench_kernel.py``);
+per-trial walls are also on each :class:`TrialRecord` for callers
+running the sweep themselves.
 """
 
 from __future__ import annotations
 
-import time
+from typing import Any, Dict
 
-from ..core.session import PaymentSession
-from ..core.topology import PaymentTopology
-from ..net.timing import Synchronous
-from .harness import ExperimentResult
+from ..runtime import SweepResult, SweepSpec, resolve_executor
+from .harness import ExperimentResult, payment_session
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def trial(spec) -> Dict[str, Any]:
+    outcome = payment_session(spec).run()
+    if not outcome.bob_paid:
+        raise AssertionError(
+            f"E7 run n={spec.opt('n')} unexpectedly failed"
+        )
+    return {
+        "messages": outcome.messages_sent,
+        "events": outcome.events_executed,
+        "sim_end_time": outcome.end_time,
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    sizes = [2, 4, 8, 16, 32] if quick else [2, 4, 8, 16, 32, 64, 128]
+    return SweepSpec.grid(
+        "E7",
+        trial,
+        seed,
+        axes={"n": sizes},
+        protocol="timebounded",
+        timing=("synchronous", {"delta": 1.0}),
+        rho=0.005,
+    )
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E7",
         title="simulation cost vs path length",
         claim=(
             "messages grow linearly in the number of escrows (5n + "
-            "constant); wall time stays in milliseconds at n=64."
+            "constant); wall time (see benchmarks/) stays in "
+            "milliseconds at n=64."
         ),
-        columns=["n", "messages", "events", "sim_end_time", "wall_seconds"],
+        columns=["n", "messages", "events", "sim_end_time"],
     )
-    sizes = [2, 4, 8, 16, 32] if quick else [2, 4, 8, 16, 32, 64, 128]
-    for n in sizes:
-        topo = PaymentTopology.linear(n, payment_id=f"e7-{n}")
-        session = PaymentSession(
-            topo, "timebounded", Synchronous(1.0), seed=seed, rho=0.005
-        )
-        t0 = time.perf_counter()
-        outcome = session.run()
-        wall = time.perf_counter() - t0
-        if not outcome.bob_paid:
-            raise AssertionError(f"E7 run n={n} unexpectedly failed")
+    sweep.raise_any()
+    for record in sweep:
         result.add_row(
-            n=n,
-            messages=outcome.messages_sent,
-            events=outcome.events_executed,
-            sim_end_time=outcome.end_time,
-            wall_seconds=wall,
+            n=record.spec.opt("n"),
+            messages=record["messages"],
+            events=record["events"],
+            sim_end_time=record["sim_end_time"],
         )
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

@@ -8,13 +8,13 @@ evidence this library can give for Theorems 1 and 3.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from ..core.topology import PaymentTopology
 from ..net.message import MsgKind
 from ..net.timing import Synchronous
 from ..properties import check_definition1, check_definition2
-from ..verification import explore_payment
+from ..runtime import SweepResult, SweepSpec, resolve_executor
 from .harness import ExperimentResult
 
 
@@ -26,7 +26,79 @@ def _def2_check(outcome) -> List[str]:
     return [repr(v) for v in check_definition2(outcome, patient=True).violations()]
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+_CHECKS = {"def1": _def1_check, "def2": _def2_check}
+
+
+def trial(spec) -> Dict[str, Any]:
+    from ..verification import explore_payment
+
+    n = spec.opt("n")
+    report = explore_payment(
+        topology_factory=lambda n=n: PaymentTopology.linear(n),
+        protocol=spec.opt("protocol"),
+        timing_factory=lambda: Synchronous(1.0),
+        check=_CHECKS[spec.opt("check")],
+        choices=list(spec.opt("choices")),
+        seed=spec.seed,
+        protocol_options=dict(spec.opt("protocol_options") or {}),
+        decision_kinds=(
+            MsgKind.MONEY,
+            MsgKind.CERTIFICATE,
+            MsgKind.DECISION,
+            MsgKind.ESCROWED,
+        ),
+        max_paths=spec.opt("max_paths"),
+    )
+    return {
+        "paths": report.paths,
+        "max_decisions": report.decision_points_max,
+        "violations": len(report.violations),
+        "truncated": report.truncated,
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    max_paths = 3000 if quick else 40_000
+    configs = [
+        ("timebounded n=1", 1, "timebounded", [0.0, 0.5, 1.0], "def1", {}),
+        ("timebounded n=2", 2, "timebounded", [0.0, 1.0], "def1", {}),
+    ]
+    if not quick:
+        configs.append(
+            ("timebounded n=3", 3, "timebounded", [0.0, 1.0], "def1", {})
+        )
+    configs.append(
+        (
+            "weak n=1 (trusted TM)",
+            1,
+            "weak",
+            [0.0, 1.0],
+            "def2",
+            {
+                "tm": "trusted",
+                "patience_setup": 10_000.0,
+                "patience_decision": 10_000.0,
+            },
+        )
+    )
+    sweep = SweepSpec(sweep_id="E8")
+    for label, n, protocol, choices, check, options in configs:
+        sweep.add(
+            trial,
+            seed,
+            (label,),
+            label=label,
+            n=n,
+            protocol=protocol,
+            choices=choices,
+            check=check,
+            protocol_options=options,
+            max_paths=max_paths,
+        )
+    return sweep
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E8",
         title="bounded exhaustive schedule exploration",
@@ -37,55 +109,25 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
         ),
         columns=["config", "choices", "paths", "max_decisions", "violations"],
     )
-    configs = [
-        ("timebounded n=1", 1, "timebounded", [0.0, 0.5, 1.0], _def1_check, {}),
-        ("timebounded n=2", 2, "timebounded", [0.0, 1.0], _def1_check, {}),
-    ]
-    if not quick:
-        configs.append(
-            ("timebounded n=3", 3, "timebounded", [0.0, 1.0], _def1_check, {})
-        )
-    configs.append(
-        (
-            "weak n=1 (trusted TM)",
-            1,
-            "weak",
-            [0.0, 1.0],
-            _def2_check,
-            {
-                "tm": "trusted",
-                "patience_setup": 10_000.0,
-                "patience_decision": 10_000.0,
-            },
-        )
-    )
-    for label, n, protocol, choices, check, options in configs:
-        report = explore_payment(
-            topology_factory=lambda n=n: PaymentTopology.linear(n),
-            protocol=protocol,
-            timing_factory=lambda: Synchronous(1.0),
-            check=check,
-            choices=choices,
-            seed=seed,
-            protocol_options=options,
-            decision_kinds=(
-                MsgKind.MONEY,
-                MsgKind.CERTIFICATE,
-                MsgKind.DECISION,
-                MsgKind.ESCROWED,
-            ),
-            max_paths=3000 if quick else 40_000,
-        )
+    sweep.raise_any()
+    for record in sweep:
         result.add_row(
-            config=label,
-            choices=len(choices),
-            paths=report.paths,
-            max_decisions=report.decision_points_max,
-            violations=len(report.violations),
+            config=record.spec.opt("label"),
+            choices=len(record.spec.opt("choices")),
+            paths=record["paths"],
+            max_decisions=record["max_decisions"],
+            violations=record["violations"],
         )
-        if report.truncated:
-            result.note(f"{label}: enumeration truncated at max_paths")
+        if record["truncated"]:
+            result.note(
+                f"{record.spec.opt('label')}: enumeration truncated at "
+                "max_paths"
+            )
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

@@ -17,18 +17,66 @@ library must surface.
 
 from __future__ import annotations
 
-from ..core.session import PaymentSession
-from ..core.topology import PaymentTopology
-from ..net.timing import Synchronous
+from typing import Any, Dict
+
 from ..properties import check_definition1
-from .harness import ExperimentResult, fraction, seeds_for
+from ..runtime import SweepResult, SweepSpec, resolve_executor
+from .harness import ExperimentResult, fraction, payment_session, seeds_for
 
 DELTA = 1.0
 EPSILON = 0.05
 N = 3
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def trial(spec) -> Dict[str, Any]:
+    protocol_options = {"epsilon": EPSILON, "margin": spec.opt("margin")}
+    # Happy path: everyone honest.
+    session = payment_session(spec, protocol_options=protocol_options)
+    outcome = session.run()
+    params = session.protocol_instance.params
+    bound = params.global_termination_bound()
+    # Failure path: Bob withholds chi; refunds must wait out the full
+    # windows.  (Bob is the last customer on the linear path.)
+    session2 = payment_session(
+        spec,
+        protocol_options=protocol_options,
+        payment_id=f"refund-{'-'.join(str(c) for c in spec.coords)}",
+        byzantine={f"c{spec.opt('n')}": "bob_never_signs"},
+    )
+    outcome2 = session2.run()
+    return {
+        "a0": params.a_i(0),
+        "bound": bound,
+        "honest_ok": check_definition1(
+            outcome, termination_bound=bound
+        ).all_ok,
+        "honest_end": outcome.end_time,
+        "refund_end": outcome2.end_time,
+    }
+
+
+def build_sweep(quick: bool = True, seed: int = 0) -> SweepSpec:
+    margins = (
+        [0.025, 0.25, 1.0, 4.0]
+        if quick
+        else [0.025, 0.1, 0.25, 1.0, 2.0, 4.0, 8.0]
+    )
+    return SweepSpec.grid(
+        "E9",
+        trial,
+        seed,
+        axes={
+            "margin": margins,
+            "s": seeds_for(quick, quick_count=5, full_count=12),
+        },
+        n=N,
+        protocol="timebounded",
+        timing=("synchronous", {"delta": DELTA}),
+        rho=0.01,
+    )
+
+
+def aggregate(sweep: SweepResult) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="E9",
         title="ablation: timeout margin vs refund latency",
@@ -42,43 +90,16 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
             "honest_end", "refund_end",
         ],
     )
-    margins = [0.025, 0.25, 1.0, 4.0] if quick else [0.025, 0.1, 0.25, 1.0, 2.0, 4.0, 8.0]
-    for margin in margins:
-        honest_ok, honest_end, refund_end = [], [], []
-        a0 = bound = None
-        for s in seeds_for(quick, quick_count=5, full_count=12):
-            topo = PaymentTopology.linear(N, payment_id=f"e9-{margin}-{s}")
-            session = PaymentSession(
-                topo, "timebounded", Synchronous(DELTA),
-                seed=seed * 100 + s, rho=0.01,
-                protocol_options={"epsilon": EPSILON, "margin": margin},
-            )
-            outcome = session.run()
-            params = session.protocol_instance.params
-            a0 = params.a_i(0)
-            bound = params.global_termination_bound()
-            honest_ok.append(
-                check_definition1(outcome, termination_bound=bound).all_ok
-            )
-            honest_end.append(outcome.end_time)
-            # Failure path: Bob withholds chi; refunds must wait out the
-            # full windows.
-            topo2 = PaymentTopology.linear(N, payment_id=f"e9b-{margin}-{s}")
-            session2 = PaymentSession(
-                topo2, "timebounded", Synchronous(DELTA),
-                seed=seed * 100 + s, rho=0.01,
-                byzantine={topo2.bob: "bob_never_signs"},
-                protocol_options={"epsilon": EPSILON, "margin": margin},
-            )
-            outcome2 = session2.run()
-            refund_end.append(outcome2.end_time)
+    sweep.raise_any()
+    for margin in sweep.distinct("margin"):
+        records = sweep.select(margin=margin)
         result.add_row(
             margin=margin,
-            a0_window=a0,
-            term_bound=bound,
-            honest_ok=fraction(honest_ok),
-            honest_end=max(honest_end),
-            refund_end=max(refund_end),
+            a0_window=records[-1]["a0"],
+            term_bound=records[-1]["bound"],
+            honest_ok=fraction(r["honest_ok"] for r in records),
+            honest_end=max(r["honest_end"] for r in records),
+            refund_end=max(r["refund_end"] for r in records),
         )
     result.note(
         f"n={N}, delta={DELTA}, epsilon={EPSILON}, rho=1%; refund_end is "
@@ -87,4 +108,8 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     return result
 
 
-__all__ = ["run"]
+def run(quick: bool = True, seed: int = 0, executor=None) -> ExperimentResult:
+    return aggregate(resolve_executor(executor).run(build_sweep(quick, seed)))
+
+
+__all__ = ["aggregate", "build_sweep", "run", "trial"]

@@ -1,0 +1,53 @@
+"""The sweep-execution runtime.
+
+Three layers, assembled bottom-up:
+
+* :mod:`~repro.runtime.spec` — declarative :class:`TrialSpec` /
+  :class:`SweepSpec` descriptions of Monte-Carlo sweeps, with
+  collision-free per-trial seeds via :func:`derive_seed`;
+* :mod:`~repro.runtime.executor` — pluggable :class:`Executor`
+  strategies (:class:`SerialExecutor`, process-pool
+  :class:`ParallelExecutor`) that run a sweep and always return
+  records in spec order, keeping parallel runs byte-identical to
+  serial ones;
+* :mod:`~repro.runtime.aggregate` — :class:`TrialRecord` /
+  :class:`SweepResult` containers the experiments reduce into their
+  result tables.
+
+Every experiment module in :mod:`repro.experiments` is a thin
+``build_sweep`` + trial function + ``aggregate`` triple on top of this
+package; the CLI's ``--jobs`` flag and the ``REPRO_JOBS`` environment
+variable choose the executor.
+"""
+
+from .aggregate import SweepResult, TrialError, TrialRecord
+from .executor import (
+    Executor,
+    JOBS_ENV_VAR,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    resolve_executor,
+    run_sweep,
+    run_trial,
+)
+from .spec import SweepSpec, TrialSpec, derive_seed, resolve_trial_fn, trial_ref
+
+__all__ = [
+    "Executor",
+    "JOBS_ENV_VAR",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "SweepResult",
+    "SweepSpec",
+    "TrialError",
+    "TrialRecord",
+    "TrialSpec",
+    "default_jobs",
+    "derive_seed",
+    "resolve_executor",
+    "resolve_trial_fn",
+    "run_sweep",
+    "run_trial",
+    "trial_ref",
+]

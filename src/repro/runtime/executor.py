@@ -1,0 +1,192 @@
+"""Pluggable sweep executors: serial and process-parallel.
+
+Trials are pure functions of their :class:`~repro.runtime.spec.TrialSpec`
+(the per-trial seed fully determines the simulation), so fanning them
+out to worker processes is safe.  Both executors return records in
+**spec order**, which keeps a parallel sweep byte-identical to the
+serial one regardless of worker count — the runtime-level analogue of
+the simulation kernel's determinism contract.
+
+The worker entry point :func:`run_trial` resolves the trial function by
+its import reference, so it works under any multiprocessing start
+method.  A trial that raises is *captured* into its record (with the
+formatted traceback) rather than poisoning the pool; callers decide via
+:meth:`SweepResult.raise_any` whether that is fatal.
+
+Worker count resolution, in precedence order: explicit argument, the
+``REPRO_JOBS`` environment variable, serial.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor as _Pool
+from typing import Any, List, Optional, Sequence, Union
+
+from ..errors import ExperimentError
+from .aggregate import SweepResult, TrialRecord
+from .spec import SweepSpec, TrialSpec
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def run_trial(spec: TrialSpec) -> TrialRecord:
+    """Execute one trial spec; never raises (errors are captured)."""
+    t0 = time.perf_counter()
+    try:
+        values = spec.resolve()(spec)
+        if not isinstance(values, dict):
+            raise ExperimentError(
+                f"trial {spec.fn!r} returned {type(values).__name__}, "
+                "expected a dict of plain values"
+            )
+        return TrialRecord(
+            spec=spec, values=values, wall_seconds=time.perf_counter() - t0
+        )
+    except Exception:
+        return TrialRecord(
+            spec=spec,
+            error=traceback.format_exc(),
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+
+def default_jobs() -> int:
+    """Job count from ``REPRO_JOBS`` (invalid/missing values mean 1)."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+class Executor:
+    """Runs a :class:`SweepSpec`, returning records in spec order."""
+
+    jobs: int = 1
+
+    def run(self, sweep: SweepSpec) -> SweepResult:
+        t0 = time.perf_counter()
+        records = self._map(sweep.trials)
+        return SweepResult(
+            sweep_id=sweep.sweep_id,
+            records=list(records),
+            wall_seconds=time.perf_counter() - t0,
+            jobs=self.jobs,
+        )
+
+    def _map(self, specs: Sequence[TrialSpec]) -> List[TrialRecord]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any held resources (no-op for inline executors)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(Executor):
+    """Run every trial in the current process, one after the other."""
+
+    def _map(self, specs: Sequence[TrialSpec]) -> List[TrialRecord]:
+        return [run_trial(spec) for spec in specs]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fan trials out over a :class:`ProcessPoolExecutor`.
+
+    ``pool.map`` preserves input order, so the returned records are
+    positionally identical to a serial run.  The worker pool is
+    created lazily on the first multi-trial sweep and reused across
+    sweeps (one `python -m repro --jobs 4` pays start-up once, not
+    once per experiment); single-trial sweeps (or ``jobs=1``) run
+    inline.  Call :meth:`shutdown` — or use the executor as a context
+    manager — to release the workers early; otherwise they are
+    reclaimed on garbage collection / interpreter exit.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, chunksize: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.chunksize = chunksize
+        self._pool: Optional[_Pool] = None
+
+    def _map(self, specs: Sequence[TrialSpec]) -> List[TrialRecord]:
+        if self.jobs <= 1 or len(specs) <= 1:
+            return [run_trial(spec) for spec in specs]
+        if self._pool is None:
+            self._pool = _Pool(max_workers=self.jobs)
+        chunksize = self.chunksize or max(
+            1, len(specs) // (min(self.jobs, len(specs)) * 4)
+        )
+        return list(self._pool.map(run_trial, specs, chunksize=chunksize))
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent; executor stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def resolve_executor(
+    executor: Union[Executor, int, None] = None,
+    jobs: Optional[int] = None,
+) -> Executor:
+    """Normalise the common ``executor=`` argument of experiment APIs.
+
+    Accepts an :class:`Executor` (returned as-is), an integer job
+    count, or ``None`` — in which case ``jobs`` and then the
+    ``REPRO_JOBS`` environment variable decide.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if isinstance(executor, int):
+        jobs = executor
+    elif executor is not None:
+        raise ExperimentError(
+            f"executor must be an Executor, an int, or None, got {executor!r}"
+        )
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return SerialExecutor() if jobs == 1 else ParallelExecutor(jobs=jobs)
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    executor: Union[Executor, int, None] = None,
+) -> SweepResult:
+    """Convenience wrapper: resolve an executor and run the sweep."""
+    return resolve_executor(executor).run(sweep)
+
+
+__all__ = [
+    "Executor",
+    "JOBS_ENV_VAR",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "default_jobs",
+    "resolve_executor",
+    "run_sweep",
+    "run_trial",
+]

@@ -15,6 +15,7 @@ suite reproducible and the bounded explorer sound.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, List, Optional
 
 from ..errors import SchedulingError, SimulationError
@@ -97,7 +98,7 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule in the past: t={time!r} < now={self._now!r}"
             )
-        if time != time or time == float("inf"):
+        if not math.isfinite(time):
             raise SchedulingError(f"non-finite event time: {time!r}")
         event = Event(time=time, priority=int(priority), fn=fn, args=args, label=label)
         self._queue.push(event)

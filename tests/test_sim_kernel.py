@@ -37,6 +37,11 @@ class TestScheduling:
         with pytest.raises(SchedulingError):
             sim.schedule_at(float("inf"), lambda: None)
 
+    def test_nan_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(float("nan"), lambda: None)
+
     def test_past_time_rejected(self):
         sim = Simulator()
         sim.schedule(1.0, lambda: None)

@@ -102,6 +102,9 @@ class TestHarness:
         assert result.find_rows(a=1)[0]["b"] == 2
         with pytest.raises(ExperimentError):
             result.add_row(a=1)  # missing column
+        with pytest.raises(ExperimentError):
+            result.add_row(a=1, b=2, c=3)  # unknown column
+        assert len(result.rows) == 1  # rejected rows are not recorded
 
     def test_render_table_contains_everything(self):
         result = ExperimentResult(
@@ -205,7 +208,12 @@ class TestExperimentClaims:
         from repro.cli import main
 
         assert main(["--list"]) == 0
-        assert "E1" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "E1" in out
+        # --list prints each experiment's one-line claim, not the module
+        # filename:
+        assert "Theorem 1" in out
+        assert "e1_synchrony" not in out
 
     def test_cli_rejects_unknown(self):
         from repro.cli import main
