@@ -1,0 +1,122 @@
+"""Benchmark: scenario-matrix campaigns, serial vs parallel.
+
+Two faces:
+
+* under pytest (with the rest of ``benchmarks/``) it asserts the
+  campaign subsystem's inherited guarantee — parallel campaign records
+  and the aggregate table are byte-identical to the serial ones — and
+  regenerates a reference campaign table;
+* as a script it measures the process-pool speedup on a full
+  four-protocol matrix::
+
+      PYTHONPATH=src python benchmarks/bench_campaign.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.runtime import ParallelExecutor, SerialExecutor
+from repro.scenarios import CampaignSpec, aggregate_campaign
+from repro.experiments import render_table
+
+
+def _campaign(trials: int = 3) -> CampaignSpec:
+    return CampaignSpec(
+        protocols=["htlc", "timebounded", "weak", "certified"],
+        timings=["sync", "partial", "async"],
+        adversaries=["none", "delayer"],
+        topologies=["linear-3"],
+        trials=trials,
+    )
+
+
+def measure(jobs: int, trials: int = 3):
+    """Run the matrix serially and with ``jobs`` workers."""
+    sweep = _campaign(trials).compile()
+    t0 = time.perf_counter()
+    serial = SerialExecutor().run(sweep)
+    t_serial = time.perf_counter() - t0
+    with ParallelExecutor(jobs=jobs) as executor:
+        t0 = time.perf_counter()
+        parallel = executor.run(sweep)
+        t_parallel = time.perf_counter() - t0
+    identical = [r.values for r in serial] == [r.values for r in parallel]
+    table_identical = render_table(aggregate_campaign(serial)) == render_table(
+        aggregate_campaign(parallel)
+    )
+    return {
+        "trials": len(sweep),
+        "serial_s": t_serial,
+        "parallel_s": t_parallel,
+        "speedup": t_serial / t_parallel if t_parallel else float("inf"),
+        "identical": identical and table_identical,
+    }
+
+
+def test_parallel_campaign_identical_to_serial(benchmark):
+    """Full matrix: 2-worker records and table match serial exactly."""
+    sweep = _campaign(trials=2).compile()
+    serial = SerialExecutor().run(sweep)
+    with ParallelExecutor(jobs=2) as executor:
+        parallel = benchmark.pedantic(
+            executor.run, args=(sweep,), iterations=1, rounds=1
+        )
+    assert [r.values for r in parallel] == [r.values for r in serial]
+    assert [r.spec for r in parallel] == [r.spec for r in serial]
+    assert render_table(aggregate_campaign(parallel)) == render_table(
+        aggregate_campaign(serial)
+    )
+
+
+def test_campaign_table(benchmark):
+    """Regenerate the reference campaign table (all four protocols)."""
+    result = benchmark.pedantic(
+        lambda: aggregate_campaign(SerialExecutor().run(_campaign(2).compile())),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_table(result))
+    # Theorem sanity anchored in the matrix: the weak protocol commits
+    # under synchrony with an honest network, HTLC completes there too.
+    (weak_sync,) = [
+        row
+        for row in result.rows
+        if row["protocol"] == "weak"
+        and row["timing"] == "sync"
+        and row["adversary"] == "none"
+    ]
+    assert weak_sync["bob_paid"] == 1.0
+    (htlc_sync,) = [
+        row
+        for row in result.rows
+        if row["protocol"] == "htlc"
+        and row["timing"] == "sync"
+        and row["adversary"] == "none"
+    ]
+    assert htlc_sync["bob_paid"] == 1.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--trials", type=int, default=3)
+    args = parser.parse_args()
+    print(
+        f"campaign matrix (4 protocols x 3 timings x 2 adversaries), "
+        f"trials={args.trials}, jobs={args.jobs}, cores={os.cpu_count()}"
+    )
+    stats = measure(args.jobs, trials=args.trials)
+    print(
+        f"trials={stats['trials']}  serial={stats['serial_s']:.2f}s  "
+        f"parallel={stats['parallel_s']:.2f}s  "
+        f"speedup={stats['speedup']:.2f}x  identical={stats['identical']}"
+    )
+    return 0 if stats["identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ Usage::
     python -m repro --jobs 4           # fan trials out over 4 processes
     REPRO_JOBS=4 python -m repro E2    # same, via the environment
     repro-experiments --list           # ids + one-line descriptions
+    python -m repro campaign ...       # scenario-matrix campaigns
+                                       # (see repro.scenarios.cli)
 
 Every experiment is a declarative sweep (see :mod:`repro.runtime`):
 trials are pure functions of their spec, so ``--jobs N`` runs them on a
@@ -27,6 +29,14 @@ from .runtime import default_jobs, resolve_executor
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        # The scenario-matrix subcommand keeps its own flag set; the
+        # plain invocation stays positional for backward compatibility.
+        from .scenarios.cli import campaign_main
+
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

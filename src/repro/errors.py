@@ -102,3 +102,7 @@ class VerificationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured incorrectly."""
+
+
+class ScenarioError(ExperimentError):
+    """A scenario campaign referenced an unknown or invalid axis value."""

@@ -77,11 +77,12 @@ def build_timing(descriptor: Sequence[Any]):
     """Build a timing model from a primitive ``(kind, params)`` pair.
 
     Trial specs must carry plain data only, so timing models travel as
-    e.g. ``("synchronous", {"delta": 1.0})`` or
-    ``("partial", {"gst": 40.0, "delta": 1.0})`` and are instantiated
+    e.g. ``("synchronous", {"delta": 1.0})``,
+    ``("partial", {"gst": 40.0, "delta": 1.0})``, or
+    ``("asynchronous", {"mean_delay": 1.0})`` and are instantiated
     inside the trial function.
     """
-    from ..net.timing import PartialSynchrony, Synchronous
+    from ..net.timing import Asynchronous, PartialSynchrony, Synchronous
 
     kind = descriptor[0]
     params = dict(descriptor[1]) if len(descriptor) > 1 else {}
@@ -89,6 +90,8 @@ def build_timing(descriptor: Sequence[Any]):
         return Synchronous(**params)
     if kind == "partial":
         return PartialSynchrony(**params)
+    if kind == "asynchronous":
+        return Asynchronous(**params)
     raise ExperimentError(f"unknown timing descriptor kind: {kind!r}")
 
 

@@ -1,0 +1,71 @@
+"""Declarative scenario campaigns over the sweep runtime.
+
+The paper's results live on a grid — protocol × timing model ×
+adversary × topology — but hand-written experiment modules can only
+visit the grid points their authors anticipated.  This package makes
+the grid itself the input:
+
+* :mod:`~repro.scenarios.registry` — named axis values (timing models,
+  adversaries, topologies, protocol defaults), resolvable by string
+  from the CLI;
+* :mod:`~repro.scenarios.spec` — :class:`ScenarioSpec` (one cell) and
+  :class:`CampaignSpec` (axis lists whose cross-product compiles to a
+  :class:`~repro.runtime.spec.SweepSpec` on the PR 1 runtime);
+* :mod:`~repro.scenarios.trial` — the one shared trial function that
+  assembles simulator + network + protocol from a compiled spec;
+* :mod:`~repro.scenarios.campaign` — execution plus the
+  (protocol × timing × adversary) aggregate table;
+* :mod:`~repro.scenarios.cli` — the ``python -m repro campaign``
+  subcommand.
+
+Because campaigns compile down to ordinary sweeps, they inherit the
+runtime's guarantees for free: collision-free derived seeds,
+process-pool parallelism, and spec-ordered byte-identical aggregation.
+
+>>> from repro.scenarios import CampaignSpec, run_campaign
+>>> table = run_campaign(CampaignSpec(
+...     protocols=["htlc", "weak"], timings=["sync", "partial"], trials=2))
+>>> [row["protocol"] for row in table.rows]
+['htlc', 'htlc', 'weak', 'weak']
+"""
+
+from .campaign import GROUP_AXES, aggregate_campaign, run_campaign
+from .registry import (
+    ADVERSARIES,
+    PROTOCOLS,
+    TIMINGS,
+    available_adversaries,
+    available_protocols,
+    available_timings,
+    available_topologies,
+    build_topology,
+    check_adversary,
+    check_topology,
+    make_adversary,
+    protocol_defaults,
+    timing_descriptor,
+)
+from .spec import CampaignSpec, ScenarioSpec
+from .trial import scenario_trial
+
+__all__ = [
+    "ADVERSARIES",
+    "CampaignSpec",
+    "GROUP_AXES",
+    "PROTOCOLS",
+    "ScenarioSpec",
+    "TIMINGS",
+    "aggregate_campaign",
+    "available_adversaries",
+    "available_protocols",
+    "available_timings",
+    "available_topologies",
+    "build_topology",
+    "check_adversary",
+    "check_topology",
+    "make_adversary",
+    "protocol_defaults",
+    "run_campaign",
+    "scenario_trial",
+    "timing_descriptor",
+]

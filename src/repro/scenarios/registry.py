@@ -1,0 +1,232 @@
+"""Named axis values for scenario campaigns.
+
+Campaign axes are resolved *by string* — from the CLI, from tests, or
+from saved campaign descriptions — so every axis has a registry mapping
+a short name to either a primitive descriptor (timings, which travel
+inside trial specs) or a module-level factory (adversaries and
+topologies, which are live objects and therefore built inside the trial
+function, never pickled).
+
+Protocols come with campaign defaults: the option payload that makes
+each protocol *runnable under every timing model in the registry*.  The
+time-bounded and HTLC protocols need an assumed delay bound Δ once the
+timing model publishes none (partial synchrony, asynchrony — running
+them there is exactly what campaigns are for); the weak and certified
+protocols need finite patience so impatient aborts bound termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.topology import PaymentTopology
+from ..errors import ScenarioError
+from ..net.adversary import (
+    Adversary,
+    CertificateWithholdingAdversary,
+    KindDelayAdversary,
+    NullAdversary,
+    PredicateDelayAdversary,
+    HOLD,
+)
+from ..net.message import MsgKind
+
+#: Assumed message-delay bound fed to protocols that need one even when
+#: the timing model publishes none.
+ASSUMED_DELTA = 1.0
+
+#: Global-time backstop for campaign trials; generous enough for every
+#: registered (protocol, timing, adversary) cell to settle or abort.
+DEFAULT_HORIZON = 50_000.0
+
+
+# -- timing models -------------------------------------------------------
+
+#: name -> primitive ``(kind, params)`` descriptor for
+#: :func:`repro.experiments.harness.build_timing`.
+TIMINGS: Dict[str, Tuple[str, Dict[str, float]]] = {
+    "sync": ("synchronous", {"delta": 1.0}),
+    "sync-tight": ("synchronous", {"delta": 1.0, "jitter": 0.0}),
+    "partial": ("partial", {"gst": 40.0, "delta": 1.0}),
+    "partial-late": ("partial", {"gst": 400.0, "delta": 1.0}),
+    "async": ("asynchronous", {"mean_delay": 1.0, "max_delay": 500.0}),
+}
+
+
+def timing_descriptor(name: str) -> Tuple[str, Dict[str, float]]:
+    """The primitive timing descriptor registered under ``name``."""
+    try:
+        return TIMINGS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown timing model {name!r}; available: {available_timings()}"
+        ) from None
+
+
+# -- adversaries -------------------------------------------------------------
+
+def _make_none() -> Optional[Adversary]:
+    return None
+
+
+def _make_null() -> Adversary:
+    return NullAdversary()
+
+
+def _make_delayer() -> Adversary:
+    # Stretch *every* message as far as the timing model allows: the
+    # maximally slow network that is still legal under the model.
+    return PredicateDelayAdversary(lambda envelope: True, delay=HOLD)
+
+
+def _make_cert_holder() -> Adversary:
+    return CertificateWithholdingAdversary()
+
+
+def _make_money_delayer() -> Adversary:
+    return KindDelayAdversary((MsgKind.MONEY,), delay=HOLD)
+
+
+#: name -> zero-argument factory, called inside the trial process.
+ADVERSARIES: Dict[str, Callable[[], Optional[Adversary]]] = {
+    "none": _make_none,
+    "null": _make_null,
+    "delayer": _make_delayer,
+    "cert-holder": _make_cert_holder,
+    "money-delayer": _make_money_delayer,
+}
+
+
+def check_adversary(name: str) -> str:
+    """Validate an adversary name without building it; returns ``name``."""
+    if name not in ADVERSARIES:
+        raise ScenarioError(
+            f"unknown adversary {name!r}; available: {available_adversaries()}"
+        )
+    return name
+
+
+def make_adversary(name: str) -> Optional[Adversary]:
+    """Build the adversary registered under ``name`` (``None`` = honest)."""
+    return ADVERSARIES[check_adversary(name)]()
+
+
+# -- topologies ------------------------------------------------------------------
+
+def check_topology(name: str) -> Tuple[str, int]:
+    """Validate a ``kind-N`` topology name without building it.
+
+    Returns the parsed ``(kind, n)`` pair; used by compile-time
+    validation, which must stay O(1) per cell whatever N is.
+    """
+    kind, _, size = name.partition("-")
+    try:
+        n = int(size)
+    except ValueError:
+        raise ScenarioError(
+            f"malformed topology {name!r}; expected e.g. 'linear-3'"
+        ) from None
+    if n < 1:
+        raise ScenarioError(f"topology {name!r} needs at least one escrow")
+    if kind not in ("linear", "multiasset"):
+        raise ScenarioError(
+            f"unknown topology kind {kind!r}; available: {available_topologies()}"
+        )
+    return kind, n
+
+
+def build_topology(name: str, payment_id: str = "payment") -> PaymentTopology:
+    """Build the payment topology named by ``name``.
+
+    Names are ``kind-N`` patterns, resolvable for any path length:
+
+    * ``linear-N`` — the Figure 1 path with ``N`` escrows, one asset;
+    * ``multiasset-N`` — the same path with one asset per hop
+      (cross-currency payments).
+    """
+    kind, n = check_topology(name)
+    return PaymentTopology.linear(
+        n, per_hop_assets=(kind == "multiasset"), payment_id=payment_id
+    )
+
+
+#: Example names shown by ``--list-axes``; any ``kind-N`` resolves.
+TOPOLOGY_KINDS: Tuple[str, ...] = ("linear-N", "multiasset-N")
+
+
+# -- protocols ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ProtocolDefaults:
+    """Campaign-wide defaults making a protocol runnable everywhere."""
+
+    options: Mapping[str, Any] = field(default_factory=dict)
+    horizon: float = DEFAULT_HORIZON
+
+
+PROTOCOLS: Dict[str, ProtocolDefaults] = {
+    "timebounded": ProtocolDefaults(
+        options={"delta": ASSUMED_DELTA, "epsilon": 0.05}
+    ),
+    "htlc": ProtocolDefaults(options={"delta": ASSUMED_DELTA}),
+    "weak": ProtocolDefaults(
+        options={
+            "tm": "trusted",
+            "patience_setup": 120.0,
+            "patience_decision": 120.0,
+        }
+    ),
+    "certified": ProtocolDefaults(
+        options={"patience_setup": 500.0, "patience_decision": 500.0}
+    ),
+}
+
+
+def protocol_defaults(name: str) -> ProtocolDefaults:
+    """Campaign defaults for the protocol registered under ``name``."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from None
+
+
+# -- listings -------------------------------------------------------------------------
+
+def available_timings() -> List[str]:
+    return sorted(TIMINGS)
+
+
+def available_adversaries() -> List[str]:
+    return sorted(ADVERSARIES)
+
+
+def available_topologies() -> List[str]:
+    return list(TOPOLOGY_KINDS)
+
+
+def available_protocols() -> List[str]:
+    return sorted(PROTOCOLS)
+
+
+__all__ = [
+    "ADVERSARIES",
+    "ASSUMED_DELTA",
+    "DEFAULT_HORIZON",
+    "PROTOCOLS",
+    "ProtocolDefaults",
+    "TIMINGS",
+    "TOPOLOGY_KINDS",
+    "available_adversaries",
+    "available_protocols",
+    "available_timings",
+    "available_topologies",
+    "build_topology",
+    "check_adversary",
+    "check_topology",
+    "make_adversary",
+    "protocol_defaults",
+    "timing_descriptor",
+]

@@ -1,0 +1,194 @@
+"""Declarative scenario and campaign specifications.
+
+A :class:`ScenarioSpec` names one cell of the paper's result space —
+"run protocol P under timing T against adversary A on topology G" — as
+plain data, with every axis value resolvable by string through
+:mod:`repro.scenarios.registry`.  A :class:`CampaignSpec` takes *lists*
+per axis and compiles their cross-product down to one
+:class:`~repro.runtime.spec.SweepSpec` on the PR 1 sweep runtime, so
+campaigns inherit collision-free seeding, process-pool parallelism, and
+spec-ordered byte-identical aggregation without any code of their own.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ScenarioError
+from ..runtime import SweepSpec
+from .registry import (
+    check_adversary,
+    check_topology,
+    protocol_defaults,
+    timing_descriptor,
+)
+
+#: Trial-function reference shared by every campaign cell (module-level
+#: so worker processes can resolve it under any start method).
+TRIAL_REF = "repro.scenarios.trial:scenario_trial"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario: a (protocol, timing, adversary, topology) cell.
+
+    Attributes
+    ----------
+    protocol:
+        Registry name (``htlc`` / ``timebounded`` / ``weak`` /
+        ``certified``).
+    timing:
+        Timing-model name from :data:`~repro.scenarios.registry.TIMINGS`.
+    adversary:
+        Adversary name from
+        :data:`~repro.scenarios.registry.ADVERSARIES` (``none`` =
+        honest network).
+    topology:
+        Topology pattern, e.g. ``linear-3`` or ``multiasset-2``.
+    rho:
+        Clock-drift bound sampled for every participant.
+    horizon:
+        Global-time backstop; ``None`` uses the protocol's campaign
+        default.
+    protocol_options:
+        Extra protocol options merged *over* the campaign defaults.
+    """
+
+    protocol: str
+    timing: str
+    adversary: str = "none"
+    topology: str = "linear-3"
+    rho: float = 0.0
+    horizon: Optional[float] = None  # None = the protocol's campaign default
+    protocol_options: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Compact cell id, e.g. ``htlc/sync/none/linear-3``."""
+        return f"{self.protocol}/{self.timing}/{self.adversary}/{self.topology}"
+
+    def validate(self) -> "ScenarioSpec":
+        """Check every axis name, raising :class:`ScenarioError` early.
+
+        Name checks only — no live objects are built, so validating a
+        whole campaign stays O(cells) whatever the topology sizes.
+        """
+        protocol_defaults(self.protocol)
+        timing_descriptor(self.timing)
+        check_adversary(self.adversary)
+        check_topology(self.topology)
+        if self.rho < 0.0:
+            raise ScenarioError(f"rho must be >= 0, got {self.rho!r}")
+        if self.horizon is not None and not (self.horizon > 0.0):
+            raise ScenarioError(f"horizon must be > 0, got {self.horizon!r}")
+        return self
+
+    def coords(self) -> Tuple[str, str, str, str]:
+        """The grid coordinates identifying this scenario in a sweep."""
+        return (self.protocol, self.timing, self.adversary, self.topology)
+
+    def options(self) -> Dict[str, Any]:
+        """The primitive option payload for the shared trial function."""
+        defaults = protocol_defaults(self.protocol)
+        return {
+            "protocol": self.protocol,
+            "timing_name": self.timing,
+            "timing": timing_descriptor(self.timing),
+            "adversary": self.adversary,
+            "topology": self.topology,
+            "rho": self.rho,
+            "horizon": self.horizon if self.horizon is not None else defaults.horizon,
+            "protocol_options": {
+                **dict(defaults.options),
+                **dict(self.protocol_options),
+            },
+        }
+
+
+@dataclass
+class CampaignSpec:
+    """A scenario matrix: axis value lists plus per-cell trial count.
+
+    The cross-product is taken in declared axis order (protocols ×
+    timings × adversaries × topologies) and each cell contributes
+    ``trials`` Monte-Carlo repetitions; compilation preserves that
+    order, so campaign records — and therefore the aggregate table —
+    are deterministic whatever the executor.
+    """
+
+    protocols: Sequence[str]
+    timings: Sequence[str]
+    adversaries: Sequence[str] = ("none",)
+    topologies: Sequence[str] = ("linear-3",)
+    trials: int = 3
+    seed: int = 0
+    rho: float = 0.0
+    horizon: Optional[float] = None  # None = per-protocol defaults
+    campaign_id: str = "campaign"
+
+    def __post_init__(self) -> None:
+        for axis in ("protocols", "timings", "adversaries", "topologies"):
+            # Normalise in place so one-shot iterables are consumed
+            # exactly once, here, instead of compiling to zero trials.
+            values = list(getattr(self, axis))
+            setattr(self, axis, values)
+            if not values:
+                raise ScenarioError(f"campaign axis {axis!r} is empty")
+            if len(set(values)) != len(values):
+                # A repeated value would rerun identical seeds and
+                # report the duplicates as extra Monte-Carlo evidence.
+                raise ScenarioError(
+                    f"campaign axis {axis!r} has duplicate values: {values}"
+                )
+        if self.trials < 1:
+            raise ScenarioError(f"trials must be >= 1, got {self.trials}")
+
+    def __len__(self) -> int:
+        """Total trial count across all cells."""
+        return (
+            len(self.protocols)
+            * len(self.timings)
+            * len(self.adversaries)
+            * len(self.topologies)
+            * self.trials
+        )
+
+    def scenarios(self) -> Iterator[ScenarioSpec]:
+        """The matrix cells, validated, in declared axis order."""
+        for protocol, timing, adversary, topology in itertools.product(
+            self.protocols, self.timings, self.adversaries, self.topologies
+        ):
+            yield ScenarioSpec(
+                protocol=protocol,
+                timing=timing,
+                adversary=adversary,
+                topology=topology,
+                rho=self.rho,
+                horizon=self.horizon,
+            ).validate()
+
+    def compile(self) -> SweepSpec:
+        """Lower the matrix onto the sweep runtime.
+
+        Every (cell, repetition) becomes one
+        :class:`~repro.runtime.spec.TrialSpec` with coordinates
+        ``(protocol, timing, adversary, topology, s)`` and a seed
+        derived from them — distinct cells can never share a seed, and
+        a cell's seeds are stable under changes to the *other* axes.
+        """
+        sweep = SweepSpec(sweep_id=self.campaign_id)
+        for scenario in self.scenarios():
+            options = scenario.options()
+            for s in range(self.trials):
+                sweep.add(
+                    TRIAL_REF,
+                    self.seed,
+                    scenario.coords() + (s,),
+                    **options,
+                )
+        return sweep
+
+
+__all__ = ["CampaignSpec", "ScenarioSpec", "TRIAL_REF"]

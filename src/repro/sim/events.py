@@ -9,7 +9,10 @@ events share a timestamp — a crucial property for reproducible
 simulations (same seed, same trace).
 
 Events support O(1) cancellation: cancelling marks the event dead and
-the queue discards it lazily when popped.
+the queue discards it lazily when popped.  Firing *also* marks the
+event dead: a fired event is no longer pending, so cancelling it
+afterwards is a no-op rather than a phantom cancellation that corrupts
+the queue's live-event accounting.
 """
 
 from __future__ import annotations
@@ -75,6 +78,13 @@ class Event:
     label: str = ""
     seq: int = field(default_factory=lambda: next(_SEQ))
     cancelled: bool = False
+    fired: bool = False
+
+    #: Queue-owned bookkeeping: whether this event is currently counted
+    #: in its queue's live total.  Managed exclusively by
+    #: :class:`~repro.sim.queue.EventQueue`; a class attribute (not a
+    #: field) so it never shows up in construction or comparison.
+    _counted = False
 
     def sort_key(self) -> Tuple[float, int, int]:
         """Total-order key: time, then priority, then insertion order."""
@@ -87,17 +97,25 @@ class Event:
     @property
     def alive(self) -> bool:
         """Whether the event will still fire when its time comes."""
-        return not self.cancelled
+        return not self.cancelled and not self.fired
 
     def fire(self) -> Any:
-        """Invoke the callback.  The kernel calls this; tests may too."""
+        """Invoke the callback.  The kernel calls this; tests may too.
+
+        Marks the event dead *before* invoking the callback: a fired
+        event is spent even if its callback raises, and cancelling it
+        afterwards must be a no-op.
+        """
+        self.fired = True
         return self.fn(*self.args)
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key() < other.sort_key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "alive"
+        state = (
+            "cancelled" if self.cancelled else "fired" if self.fired else "alive"
+        )
         name = self.label or getattr(self.fn, "__name__", "fn")
         return f"Event(t={self.time:.6g}, prio={self.priority}, {name}, {state})"
 

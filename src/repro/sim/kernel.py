@@ -157,10 +157,16 @@ class Simulator:
         until:
             Inclusive global-time horizon.  Events scheduled strictly
             after ``until`` remain pending; the clock is advanced to
-            ``until`` when the horizon is the binding constraint.
+            ``until`` whenever the horizon is the binding constraint —
+            including when the queue is empty or drains before the
+            horizon — so latency read from :attr:`now` is never short
+            of the simulated span.  (A ``stop()`` request or a stop
+            condition leaves the clock at the last executed event.)
         max_events:
             Upper bound on events executed in this call (safety valve
-            against livelock in adversarial scenarios).
+            against livelock in adversarial scenarios).  Unlike
+            ``until`` this bound does *not* advance the clock: when it
+            binds, the clock stays at the last executed event's time.
 
         Returns
         -------
@@ -177,10 +183,11 @@ class Simulator:
                 if max_events is not None and self._executed - executed_before >= max_events:
                     break
                 next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = max(self._now, until)
+                if next_time is None or (until is not None and next_time > until):
+                    # The horizon binds whenever no event at or before
+                    # `until` remains — including on an empty queue.
+                    if until is not None:
+                        self._now = max(self._now, until)
                     break
                 self.step()
                 if self._stop_conditions and any(

@@ -5,6 +5,13 @@ The queue stores :class:`~repro.sim.events.Event` objects ordered by
 events are skipped on pop.  ``peek_time`` lets the kernel look ahead
 without committing to the pop, which the bounded explorer uses to
 enumerate frontier events.
+
+Live-count accounting is membership-checked: every event carries a
+queue-owned ``_counted`` flag recording whether it is part of this
+queue's live total.  ``note_cancelled`` only decrements for events that
+are actually counted, so cancel-after-pop, cancel-after-clear, and
+double-cancel all leave ``len(queue)`` exact instead of silently
+undercounting.
 """
 
 from __future__ import annotations
@@ -32,7 +39,8 @@ class EventQueue:
     def push(self, event: Event) -> Event:
         """Insert ``event`` and return it (for chaining)."""
         heapq.heappush(self._heap, event)
-        if event.alive:
+        event._counted = event.alive
+        if event._counted:
             self._live += 1
         return event
 
@@ -47,8 +55,9 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.alive:
-                self._live -= 1
+                self._uncount(event)
                 return event
+            self._uncount(event)  # cancelled behind the queue's back
         raise IndexError("pop from empty EventQueue")
 
     def peek(self) -> Optional[Event]:
@@ -66,12 +75,15 @@ class EventQueue:
 
         The kernel calls this from :meth:`Simulator.cancel` so the live
         count stays accurate; the heap entry itself is discarded lazily.
+        Idempotent, and a no-op for events this queue is not currently
+        counting (already popped, fired, cleared, or never pushed).
         """
-        if self._live > 0:
-            self._live -= 1
+        self._uncount(event)
 
     def clear(self) -> None:
         """Drop all events (cancelled ones included)."""
+        for event in self._heap:
+            event._counted = False
         self._heap.clear()
         self._live = 0
 
@@ -91,7 +103,13 @@ class EventQueue:
     def _compact_head(self) -> None:
         """Discard cancelled events sitting at the heap root."""
         while self._heap and not self._heap[0].alive:
-            heapq.heappop(self._heap)
+            self._uncount(heapq.heappop(self._heap))
+
+    def _uncount(self, event: Event) -> None:
+        """Remove ``event`` from the live total, exactly once."""
+        if event._counted:
+            event._counted = False
+            self._live -= 1
 
 
 __all__ = ["EventQueue"]

@@ -1,0 +1,294 @@
+"""Tests: the scenario-matrix campaign subsystem."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments import render_table
+from repro.runtime import ParallelExecutor, SerialExecutor, run_trial
+from repro.scenarios import (
+    CampaignSpec,
+    ScenarioSpec,
+    aggregate_campaign,
+    available_adversaries,
+    available_protocols,
+    available_timings,
+    build_topology,
+    make_adversary,
+    protocol_defaults,
+    run_campaign,
+    timing_descriptor,
+)
+from repro.scenarios.spec import TRIAL_REF
+
+
+class TestRegistry:
+    def test_all_payment_protocols_registered(self):
+        assert available_protocols() == ["certified", "htlc", "timebounded", "weak"]
+
+    def test_timing_names_resolve_to_models(self):
+        from repro.experiments.harness import build_timing
+
+        for name in available_timings():
+            model = build_timing(timing_descriptor(name))
+            assert hasattr(model, "delivery_time")
+
+    def test_adversary_names_resolve(self):
+        assert make_adversary("none") is None
+        for name in available_adversaries():
+            if name != "none":
+                adversary = make_adversary(name)
+                assert hasattr(adversary, "propose_delay")
+
+    def test_adversary_factories_return_fresh_instances(self):
+        # Stateful adversaries must never be shared between trials.
+        assert make_adversary("cert-holder") is not make_adversary("cert-holder")
+
+    def test_topology_patterns(self):
+        assert build_topology("linear-5").n_escrows == 5
+        multi = build_topology("multiasset-3")
+        assert len({amt.asset for amt in multi.amounts}) == 3
+
+    def test_unknown_names_raise_scenario_error(self):
+        with pytest.raises(ScenarioError):
+            timing_descriptor("warp")
+        with pytest.raises(ScenarioError):
+            make_adversary("mallory")
+        with pytest.raises(ScenarioError):
+            protocol_defaults("lightning")
+        with pytest.raises(ScenarioError):
+            build_topology("ring-3")
+        with pytest.raises(ScenarioError):
+            build_topology("linear-zero")
+        with pytest.raises(ScenarioError):
+            build_topology("linear-0")
+
+
+class TestScenarioSpec:
+    def test_options_merge_protocol_defaults(self):
+        spec = ScenarioSpec(
+            protocol="weak",
+            timing="sync",
+            protocol_options={"patience_setup": 9.0},
+        )
+        options = spec.options()
+        assert options["protocol_options"]["patience_setup"] == 9.0
+        assert options["protocol_options"]["tm"] == "trusted"
+        assert options["timing"] == ("synchronous", {"delta": 1.0})
+
+    def test_label(self):
+        spec = ScenarioSpec(protocol="htlc", timing="async")
+        assert spec.label == "htlc/async/none/linear-3"
+
+    def test_validate_rejects_bad_axes(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(protocol="htlc", timing="warp").validate()
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(protocol="htlc", timing="sync", rho=-0.1).validate()
+        with pytest.raises(ScenarioError):
+            ScenarioSpec(protocol="htlc", timing="sync", horizon=0.0).validate()
+
+
+class TestCampaignCompile:
+    def test_cross_product_order_and_size(self):
+        campaign = CampaignSpec(
+            protocols=["htlc", "weak"],
+            timings=["sync", "partial"],
+            adversaries=["none"],
+            topologies=["linear-1"],
+            trials=2,
+        )
+        sweep = campaign.compile()
+        assert len(sweep) == len(campaign) == 8
+        assert sweep.trials[0].coords == ("htlc", "sync", "none", "linear-1", 0)
+        assert sweep.trials[-1].coords == ("weak", "partial", "none", "linear-1", 1)
+        assert all(t.fn == TRIAL_REF for t in sweep)
+
+    def test_seeds_collision_free_across_cells(self):
+        campaign = CampaignSpec(
+            protocols=["htlc", "timebounded", "weak", "certified"],
+            timings=["sync", "partial", "async"],
+            adversaries=["none", "delayer"],
+            topologies=["linear-1", "linear-3"],
+            trials=3,
+        )
+        seeds = [t.seed for t in campaign.compile()]
+        assert len(seeds) == len(set(seeds)) == 144
+
+    def test_cell_seeds_stable_under_other_axis_changes(self):
+        """Adding axis values must not reshuffle existing cells' seeds."""
+        small = CampaignSpec(protocols=["htlc"], timings=["sync"], trials=2)
+        large = CampaignSpec(
+            protocols=["htlc", "weak"], timings=["sync", "async"], trials=2
+        )
+        small_seeds = {t.coords: t.seed for t in small.compile()}
+        large_seeds = {t.coords: t.seed for t in large.compile()}
+        for coords, seed in small_seeds.items():
+            assert large_seeds[coords] == seed
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError):
+            CampaignSpec(protocols=[], timings=["sync"])
+        with pytest.raises(ScenarioError):
+            CampaignSpec(protocols=["htlc"], timings=["sync"], trials=0)
+
+    def test_duplicate_axis_values_rejected(self):
+        """A repeated axis value would rerun identical seeds and pass
+        the duplicates off as additional Monte-Carlo evidence."""
+        with pytest.raises(ScenarioError):
+            CampaignSpec(protocols=["htlc", "htlc"], timings=["sync"])
+        with pytest.raises(ScenarioError):
+            CampaignSpec(
+                protocols=["htlc"], timings=["sync"], adversaries=["none", "none"]
+            )
+
+    def test_one_shot_iterable_axes_are_normalised(self):
+        """Generator axis values must survive validation AND compile."""
+        campaign = CampaignSpec(
+            protocols=iter(["htlc"]), timings=(t for t in ["sync"]), trials=2
+        )
+        assert len(campaign) == 2
+        assert len(campaign.compile()) == 2
+
+    def test_validation_is_cheap_for_huge_topologies(self):
+        """Compile-time validation must not build the topologies."""
+        campaign = CampaignSpec(
+            protocols=["htlc"], timings=["sync"], topologies=["linear-1000000"]
+        )
+        assert len(campaign.compile()) == 3  # instant: names only
+
+    def test_compile_fails_fast_on_unknown_axis_value(self):
+        campaign = CampaignSpec(protocols=["htlc"], timings=["warp"])
+        with pytest.raises(ScenarioError):
+            campaign.compile()
+
+
+class TestScenarioTrial:
+    @pytest.mark.parametrize("protocol", ["htlc", "timebounded", "weak", "certified"])
+    def test_each_protocol_completes_under_synchrony(self, protocol):
+        campaign = CampaignSpec(
+            protocols=[protocol],
+            timings=["sync"],
+            topologies=["linear-2"],
+            trials=1,
+        )
+        record = run_trial(campaign.compile().trials[0])
+        assert record.ok, record.error
+        assert record["bob_paid"] and record["all_terminated"]
+        assert record["ledgers_ok"]
+        assert record["latency"] > 0.0
+
+    def test_cert_holder_defeats_timebounded_under_partial_synchrony(self):
+        campaign = CampaignSpec(
+            protocols=["timebounded"],
+            timings=["partial-late"],
+            adversaries=["cert-holder"],
+            topologies=["linear-2"],
+            trials=1,
+        )
+        record = run_trial(campaign.compile().trials[0])
+        assert record.ok, record.error
+        assert not record["bob_paid"]
+
+    def test_latency_honest_when_horizon_binds(self):
+        """A never-settling run reports the horizon, not the last event."""
+        campaign = CampaignSpec(
+            protocols=["htlc"],
+            timings=["async"],
+            adversaries=["delayer"],
+            topologies=["linear-2"],
+            trials=1,
+            horizon=777.0,
+        )
+        record = run_trial(campaign.compile().trials[0])
+        assert record.ok, record.error
+        # Premise: the delayer stretches every async message to the
+        # model maximum (500), so this run cannot settle by t=777.  If
+        # a registry change ever breaks this, re-pin the cell.
+        assert not record["all_terminated"]
+        assert record["latency"] == 777.0
+
+
+class TestCampaignAggregation:
+    def _campaign(self):
+        return CampaignSpec(
+            protocols=["htlc", "weak"],
+            timings=["sync", "partial"],
+            adversaries=["none"],
+            topologies=["linear-1", "linear-2"],
+            trials=2,
+        )
+
+    def test_rows_grouped_by_protocol_timing_adversary(self):
+        result = run_campaign(self._campaign())
+        keys = [(r["protocol"], r["timing"], r["adversary"]) for r in result.rows]
+        # Topologies pool inside a group: 2 topologies x 2 trials = 4 runs.
+        assert keys == [
+            ("htlc", "sync", "none"),
+            ("htlc", "partial", "none"),
+            ("weak", "sync", "none"),
+            ("weak", "partial", "none"),
+        ]
+        assert all(r["runs"] == 4 for r in result.rows)
+
+    def test_serial_parallel_byte_parity(self):
+        sweep = self._campaign().compile()
+        serial = SerialExecutor().run(sweep)
+        parallel = ParallelExecutor(jobs=2).run(sweep)
+        assert [r.values for r in serial] == [r.values for r in parallel]
+        assert render_table(aggregate_campaign(serial)) == render_table(
+            aggregate_campaign(parallel)
+        )
+
+    def test_run_campaign_accepts_jobs_int(self):
+        a = run_campaign(self._campaign(), executor=2)
+        b = run_campaign(self._campaign())
+        assert render_table(a) == render_table(b)
+
+
+class TestCampaignCli:
+    def test_campaign_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "--protocols", "htlc,weak",
+                "--timing", "sync",
+                "--adversaries", "none",
+                "--trials", "2",
+                "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario-matrix campaign" in out
+        assert "htlc" in out and "weak" in out and "jobs=2" in out
+
+    def test_output_artifact_identical_across_jobs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = [
+            "campaign",
+            "--protocols", "weak",
+            "--timing", "sync,partial",
+            "--trials", "2",
+        ]
+        serial, parallel = tmp_path / "serial.txt", tmp_path / "parallel.txt"
+        assert main(args + ["--output", str(serial)]) == 0
+        assert main(args + ["--jobs", "2", "--output", str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_list_axes(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--list-axes"]) == 0
+        out = capsys.readouterr().out
+        assert "timebounded" in out and "linear-N" in out
+
+    def test_unknown_axis_value_is_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["campaign", "--timing", "warp"])
+        assert "unknown timing model" in capsys.readouterr().err

@@ -1,5 +1,7 @@
 """Unit tests: event records and the event queue."""
 
+import random
+
 import pytest
 
 from repro.sim.events import Event, EventPriority, make_event
@@ -37,6 +39,22 @@ class TestEvent:
         event = make_event(0.0, seen.append, 42)
         event.fire()
         assert seen == [42]
+
+    def test_fire_marks_event_dead(self):
+        """A fired event is spent: cancelling it later must see it dead
+        rather than trigger a phantom live-count decrement."""
+        event = make_event(0.0, _noop)
+        event.fire()
+        assert event.fired and not event.alive
+
+    def test_fire_marks_dead_even_when_callback_raises(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        event = make_event(0.0, boom)
+        with pytest.raises(RuntimeError):
+            event.fire()
+        assert not event.alive
 
     def test_delivery_priority_is_below_timer(self):
         # A message arriving at the same instant as a deadline counts as
@@ -110,3 +128,124 @@ class TestEventQueue:
         assert not queue
         queue.push(make_event(1.0, _noop))
         assert queue
+
+    def test_cancel_after_pop_does_not_undercount(self):
+        """Cancelling an event already handed out by pop must not steal
+        a live slot from the events still in the heap."""
+        queue = EventQueue()
+        popped = queue.push(make_event(1.0, _noop))
+        kept = queue.push(make_event(2.0, _noop))
+        assert queue.pop() is popped
+        popped.cancel()
+        queue.note_cancelled(popped)  # phantom: no longer a member
+        assert len(queue) == 1 and bool(queue)
+        assert queue.pop() is kept
+
+    def test_cancel_after_clear_does_not_undercount(self):
+        queue = EventQueue()
+        old = queue.push(make_event(1.0, _noop))
+        queue.clear()
+        fresh = queue.push(make_event(2.0, _noop))
+        old.cancel()
+        queue.note_cancelled(old)
+        assert len(queue) == 1
+        assert queue.pop() is fresh
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        doomed = queue.push(make_event(1.0, _noop))
+        queue.push(make_event(2.0, _noop))
+        doomed.cancel()
+        queue.note_cancelled(doomed)
+        queue.note_cancelled(doomed)
+        queue.note_cancelled(doomed)
+        assert len(queue) == 1
+
+    def test_cancel_of_foreign_event_is_ignored(self):
+        queue = EventQueue()
+        queue.push(make_event(1.0, _noop))
+        stranger = make_event(5.0, _noop)
+        stranger.cancel()
+        queue.note_cancelled(stranger)
+        assert len(queue) == 1
+
+    def test_direct_cancel_heals_on_discard(self):
+        """An event cancelled behind the queue's back (without
+        note_cancelled) is reconciled when the heap discards it."""
+        queue = EventQueue()
+        sneaky = queue.push(make_event(1.0, _noop))
+        live = queue.push(make_event(2.0, _noop))
+        sneaky.cancel()  # no note_cancelled: count is stale...
+        assert queue.pop() is live  # ...until the discard heals it
+        assert len(queue) == 0
+
+    def test_pushing_dead_event_not_counted(self):
+        queue = EventQueue()
+        dead = make_event(1.0, _noop)
+        dead.cancel()
+        queue.push(dead)
+        assert len(queue) == 0 and not queue
+
+
+class TestQueueInvariants:
+    """Randomized model check: ``len(queue)`` equals a reference count
+    under arbitrary interleavings of push/pop/cancel/clear."""
+
+    OPS = ("push", "push", "push", "pop", "cancel", "cancel_popped", "clear")
+
+    def _run_ops(self, seed: int, steps: int = 400) -> None:
+        rng = random.Random(seed)
+        queue = EventQueue()
+        live = set()  # reference model: pushed, alive, not yet popped
+        popped = []
+        for _ in range(steps):
+            op = rng.choice(self.OPS)
+            if op == "push":
+                event = make_event(rng.uniform(0, 100), _noop)
+                if rng.random() < 0.1:
+                    event.cancel()  # occasionally push an already-dead event
+                queue.push(event)
+                if event.alive:
+                    live.add(event)
+            elif op == "pop":
+                if live:
+                    event = queue.pop()
+                    assert event in live, "pop returned a non-live event"
+                    assert event.time == min(e.time for e in live)
+                    live.discard(event)
+                    popped.append(event)
+                else:
+                    with pytest.raises(IndexError):
+                        queue.pop()
+            elif op == "cancel":
+                if live and rng.random() < 0.9:
+                    event = rng.choice(sorted(live, key=lambda e: e.seq))
+                    event.cancel()
+                    queue.note_cancelled(event)
+                    live.discard(event)
+            elif op == "cancel_popped":
+                if popped:
+                    event = rng.choice(popped)
+                    event.cancel()
+                    queue.note_cancelled(event)  # must be a no-op
+            elif op == "clear":
+                queue.clear()
+                live.clear()
+            assert len(queue) == len(live), f"after {op}"
+            assert bool(queue) == bool(live)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_interleaved_operations_keep_count_exact(self, seed):
+        self._run_ops(seed)
+
+    def test_drain_after_chaos_yields_time_order(self):
+        rng = random.Random(99)
+        queue = EventQueue()
+        events = [queue.push(make_event(rng.uniform(0, 10), _noop)) for _ in range(50)]
+        for event in rng.sample(events, 20):
+            event.cancel()
+            queue.note_cancelled(event)
+        survivors = [e for e in events if e.alive]
+        drained = [queue.pop() for _ in range(len(queue))]
+        assert drained == sorted(survivors, key=Event.sort_key)
+        assert len(queue) == 0 and not queue

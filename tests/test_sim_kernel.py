@@ -64,6 +64,32 @@ class TestScheduling:
         sim.cancel(event)
         assert sim.pending_events == 0
 
+    def test_cancel_after_fire_keeps_pending_count_exact(self):
+        """Regression: cancelling an already-fired event used to pass
+        the alive check and decrement the live count for an event no
+        longer in the heap, making pending_events undercount."""
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.pending_events == 1
+        sim.cancel(fired)  # spent event: must be a no-op
+        assert sim.pending_events == 1
+        assert sim.run() == 1  # the live event still fires
+
+    def test_cancel_after_fire_cannot_hide_live_events(self):
+        """The undercount's worst symptom: an 'empty' queue (len 0,
+        falsy) while live events remain scheduled."""
+        sim = Simulator()
+        done = []
+        first = sim.schedule(1.0, lambda: None)
+        sim.run(until=1.0)
+        sim.schedule(2.0, done.append, "late")
+        sim.cancel(first)
+        assert sim.pending_events == 1  # pre-fix: 0
+        sim.run()
+        assert done == ["late"]
+
 
 class TestRunLoop:
     def test_run_executes_in_time_order(self):
@@ -99,6 +125,45 @@ class TestRunLoop:
         sim.schedule(5.0, seen.append, 5)
         sim.run(until=5.0)
         assert seen == [5]
+
+    def test_until_advances_clock_on_empty_queue(self):
+        """Regression: with nothing scheduled the horizon is still the
+        binding constraint, so the clock must advance to it."""
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_until_advances_clock_when_queue_drains(self):
+        """Regression: a queue that drains mid-run used to leave the
+        clock at the last event, skewing latencies read from now."""
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=7.5)
+        assert sim.now == 7.5
+
+    def test_until_in_the_past_never_rewinds_the_clock(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert sim.now == 3.0
+        sim.run(until=1.0)
+        assert sim.now == 3.0
+
+    def test_stop_condition_leaves_clock_at_last_event(self):
+        """The horizon only binds when the run actually reaches it: a
+        stop condition halting earlier keeps the event-time clock."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.add_stop_condition(lambda s: True)
+        sim.run(until=10.0)
+        assert sim.now == 1.0
+
+    def test_max_events_leaves_clock_at_last_event(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(until=100.0, max_events=2)
+        assert sim.now == 2.0
 
     def test_max_events_bounds_execution(self):
         sim = Simulator()
