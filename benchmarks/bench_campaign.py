@@ -100,6 +100,27 @@ def test_campaign_table(benchmark):
     assert htlc_sync["bob_paid"] == 1.0
 
 
+def test_campaign_persistence_round_trip(benchmark, tmp_path):
+    """Streamed --out records reload into a byte-identical table; the
+    benchmark timing tracks the write-included sweep cost."""
+    from repro.runtime import RecordWriter, load_sweep_result
+
+    sweep = _campaign(trials=2).compile()
+
+    def run_with_writer():
+        with RecordWriter(tmp_path / "out", sweep_id=sweep.sweep_id) as writer:
+            result = SerialExecutor().run(sweep, sink=writer.write)
+            writer.close(wall_seconds=result.wall_seconds, jobs=1)
+        return result
+
+    result = benchmark.pedantic(run_with_writer, iterations=1, rounds=1)
+    reloaded = load_sweep_result(tmp_path / "out")
+    assert [r.values for r in reloaded] == [r.values for r in result]
+    assert render_table(aggregate_campaign(reloaded)) == render_table(
+        aggregate_campaign(result)
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4)

@@ -106,3 +106,7 @@ class ExperimentError(ReproError):
 
 class ScenarioError(ExperimentError):
     """A scenario campaign referenced an unknown or invalid axis value."""
+
+
+class PersistenceError(ExperimentError):
+    """A persisted sweep directory is missing, malformed, or mismatched."""

@@ -8,25 +8,20 @@ evidence this library can give for Theorems 1 and 3.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from ..core.topology import PaymentTopology
 from ..net.message import MsgKind
 from ..net.timing import Synchronous
-from ..properties import check_definition1, check_definition2
 from ..runtime import SweepResult, SweepSpec, resolve_executor
+from ..verification.properties import (
+    definition1_violations,
+    definition2_violations,
+)
 from .harness import ExperimentResult
 
-
-def _def1_check(outcome) -> List[str]:
-    return [repr(v) for v in check_definition1(outcome).violations()]
-
-
-def _def2_check(outcome) -> List[str]:
-    return [repr(v) for v in check_definition2(outcome, patient=True).violations()]
-
-
-_CHECKS = {"def1": _def1_check, "def2": _def2_check}
+#: check name (in trial specs) -> shared violation-listing callable.
+_CHECKS = {"def1": definition1_violations, "def2": definition2_violations}
 
 
 def trial(spec) -> Dict[str, Any]:

@@ -14,7 +14,7 @@ behaviour without being wedged by the protocol itself.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..core.outcomes import PaymentOutcome
 from ..core.problem import PropertyId
@@ -57,6 +57,7 @@ def consistency_verdict(outcome: PaymentOutcome) -> Verdict:
 def check_definition1(
     outcome: PaymentOutcome,
     termination_bound: Optional[float] = None,
+    cert_kinds: Sequence[str] = ("chi",),
 ) -> CheckReport:
     """Check Definition 1 (time-bounded cross-chain payment).
 
@@ -67,6 +68,11 @@ def check_definition1(
     termination_bound:
         A-priori bound for the T check; omit to check the *eventually
         terminating* variant instead.
+    cert_kinds:
+        Certificate kinds that satisfy CS1 — the paper's χ by default;
+        protocols with a different receipt (HTLC's revealed preimage)
+        pass their own (see
+        :data:`repro.verification.properties.DEFINITION_PROFILES`).
     """
     report = CheckReport()
     report.add(consistency_verdict(outcome))
@@ -75,7 +81,7 @@ def check_definition1(
     else:
         report.add(EventualTermination().check(outcome))
     report.add(EscrowSecurity().check(outcome))
-    report.add(AliceSecurity(cert_kinds=("chi",)).check(outcome))
+    report.add(AliceSecurity(cert_kinds=tuple(cert_kinds)).check(outcome))
     report.add(BobSecurity(weak_variant=False).check(outcome))
     report.add(ConnectorSecurity().check(outcome))
     report.add(StrongLiveness().check(outcome))
@@ -85,6 +91,7 @@ def check_definition1(
 def check_definition2(
     outcome: PaymentOutcome,
     patient: bool = True,
+    cert_kinds: Sequence[str] = ("commit",),
 ) -> CheckReport:
     """Check Definition 2 (weak liveness guarantees).
 
@@ -95,13 +102,16 @@ def check_definition2(
     patient:
         Whether this run's patience exceeded actual delays (feeds the
         weak-liveness precondition).
+    cert_kinds:
+        Certificate kinds that satisfy CS1 — the commit certificate χc
+        by default.
     """
     report = CheckReport()
     report.add(consistency_verdict(outcome))
     report.add(CertificateConsistency().check(outcome))
     report.add(EventualTermination().check(outcome))
     report.add(EscrowSecurity().check(outcome))
-    report.add(AliceSecurity(cert_kinds=("commit",)).check(outcome))
+    report.add(AliceSecurity(cert_kinds=tuple(cert_kinds)).check(outcome))
     report.add(BobSecurity(weak_variant=True).check(outcome))
     report.add(ConnectorSecurity().check(outcome))
     report.add(WeakLiveness(patient=patient).check(outcome))

@@ -12,7 +12,11 @@ Three layers, assembled bottom-up:
   serial ones;
 * :mod:`~repro.runtime.aggregate` — :class:`TrialRecord` /
   :class:`SweepResult` containers the experiments reduce into their
-  result tables.
+  result tables;
+* :mod:`~repro.runtime.persist` — streamed JSONL/CSV persistence for
+  trial records (:class:`RecordWriter` as an executor ``sink``) and
+  :func:`load_sweep_result` to reload and re-aggregate without
+  re-running any trial.
 
 Every experiment module in :mod:`repro.experiments` is a thin
 ``build_sweep`` + trial function + ``aggregate`` triple on top of this
@@ -31,12 +35,20 @@ from .executor import (
     run_sweep,
     run_trial,
 )
+from .persist import (
+    RecordWriter,
+    load_sweep_result,
+    record_from_dict,
+    record_to_dict,
+    write_sweep_result,
+)
 from .spec import SweepSpec, TrialSpec, derive_seed, resolve_trial_fn, trial_ref
 
 __all__ = [
     "Executor",
     "JOBS_ENV_VAR",
     "ParallelExecutor",
+    "RecordWriter",
     "SerialExecutor",
     "SweepResult",
     "SweepSpec",
@@ -45,9 +57,13 @@ __all__ = [
     "TrialSpec",
     "default_jobs",
     "derive_seed",
+    "load_sweep_result",
+    "record_from_dict",
+    "record_to_dict",
     "resolve_executor",
     "resolve_trial_fn",
     "run_sweep",
     "run_trial",
     "trial_ref",
+    "write_sweep_result",
 ]

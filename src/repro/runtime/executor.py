@@ -23,7 +23,7 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor as _Pool
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
 from ..errors import ExperimentError
 from .aggregate import SweepResult, TrialRecord
@@ -68,17 +68,34 @@ class Executor:
 
     jobs: int = 1
 
-    def run(self, sweep: SweepSpec) -> SweepResult:
+    def run(
+        self,
+        sweep: SweepSpec,
+        sink: Optional[Callable[[TrialRecord], None]] = None,
+    ) -> SweepResult:
+        """Execute the sweep; optionally stream records to ``sink``.
+
+        ``sink`` is called once per record, **in spec order, as the
+        record becomes available** — a parallel run streams results out
+        while later trials are still executing, which is what lets a
+        persistence writer follow a large campaign without buffering it
+        twice.
+        """
         t0 = time.perf_counter()
-        records = self._map(sweep.trials)
+        records = []
+        for record in self.imap(sweep.trials):
+            records.append(record)
+            if sink is not None:
+                sink(record)
         return SweepResult(
             sweep_id=sweep.sweep_id,
-            records=list(records),
+            records=records,
             wall_seconds=time.perf_counter() - t0,
             jobs=self.jobs,
         )
 
-    def _map(self, specs: Sequence[TrialSpec]) -> List[TrialRecord]:
+    def imap(self, specs: Sequence[TrialSpec]) -> Iterator[TrialRecord]:
+        """Yield one record per spec, in spec order, as they complete."""
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -94,8 +111,9 @@ class Executor:
 class SerialExecutor(Executor):
     """Run every trial in the current process, one after the other."""
 
-    def _map(self, specs: Sequence[TrialSpec]) -> List[TrialRecord]:
-        return [run_trial(spec) for spec in specs]
+    def imap(self, specs: Sequence[TrialSpec]) -> Iterator[TrialRecord]:
+        for spec in specs:
+            yield run_trial(spec)
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -121,15 +139,19 @@ class ParallelExecutor(Executor):
         self.chunksize = chunksize
         self._pool: Optional[_Pool] = None
 
-    def _map(self, specs: Sequence[TrialSpec]) -> List[TrialRecord]:
+    def imap(self, specs: Sequence[TrialSpec]) -> Iterator[TrialRecord]:
         if self.jobs <= 1 or len(specs) <= 1:
-            return [run_trial(spec) for spec in specs]
+            for spec in specs:
+                yield run_trial(spec)
+            return
         if self._pool is None:
             self._pool = _Pool(max_workers=self.jobs)
         chunksize = self.chunksize or max(
             1, len(specs) // (min(self.jobs, len(specs)) * 4)
         )
-        return list(self._pool.map(run_trial, specs, chunksize=chunksize))
+        # pool.map yields lazily in input order, so a streaming sink
+        # sees records as chunks complete, not after the whole sweep.
+        yield from self._pool.map(run_trial, specs, chunksize=chunksize)
 
     def shutdown(self) -> None:
         """Release the worker pool (idempotent; executor stays usable)."""

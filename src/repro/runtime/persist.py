@@ -1,0 +1,323 @@
+"""Sweep-record persistence: streamed JSONL + CSV, reloadable.
+
+Large campaigns produce more per-trial records than anyone wants to
+keep in memory or recompute for every downstream question, so this
+module gives :class:`~repro.runtime.aggregate.TrialRecord` a durable
+form:
+
+* ``records.jsonl`` — the record of truth: one JSON object per trial,
+  in spec order, carrying the full spec (fn / coords / seed / options)
+  and the trial's values or captured error.  JSON round-trips Python
+  floats exactly (``repr``-based), which is what lets a reloaded sweep
+  reproduce its aggregate table **byte-identically**.
+* ``records.csv`` — a flat convenience view for spreadsheets/pandas:
+  one column per scalar spec option and per scalar value; non-scalar
+  payloads are embedded as JSON strings.  The CSV is derived data —
+  reloading always reads the JSONL.
+* ``manifest.json`` — schema version, sweep id, and record count, so a
+  loader can reject partial or foreign directories.
+
+:class:`RecordWriter` *streams*: it is handed to
+:meth:`~repro.runtime.executor.Executor.run` as a ``sink`` and writes
+each record as the executor yields it (spec order, even under a
+process pool), so a parallel campaign never buffers its records twice.
+
+>>> with RecordWriter(out_dir, sweep_id=sweep.sweep_id) as writer:
+...     result = executor.run(sweep, sink=writer.write)
+...     writer.close(wall_seconds=result.wall_seconds, jobs=result.jobs)
+>>> reloaded = load_sweep_result(out_dir)   # == result, aggregate-wise
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, List, Optional, Union
+
+from ..errors import PersistenceError
+from .aggregate import SweepResult, TrialRecord
+from .spec import TrialSpec
+
+#: On-disk layout of one persisted sweep directory.
+RECORDS_JSONL = "records.jsonl"
+RECORDS_CSV = "records.csv"
+MANIFEST_JSON = "manifest.json"
+
+#: Bump on any incompatible change to the record JSON shape.
+SCHEMA_VERSION = 1
+
+
+def record_to_dict(record: TrialRecord) -> Dict[str, Any]:
+    """The JSON-ready form of one record (spec inlined, plain data)."""
+    return {
+        "fn": record.spec.fn,
+        "coords": list(record.spec.coords),
+        "seed": record.spec.seed,
+        "options": dict(record.spec.options),
+        "values": record.values,
+        "error": record.error,
+        "wall_seconds": record.wall_seconds,
+    }
+
+
+def record_from_dict(data: Dict[str, Any]) -> TrialRecord:
+    """Inverse of :func:`record_to_dict`.
+
+    JSON has no tuples, so ``coords`` comes back as a list and is
+    restored to the tuple the runtime promises.  Option *values* keep
+    their JSON types (a tuple-valued option such as a timing descriptor
+    returns as a list); aggregation keys on strings and numbers, so the
+    reduced table is unaffected.
+    """
+    try:
+        spec = TrialSpec(
+            fn=data["fn"],
+            coords=tuple(data["coords"]),
+            seed=data["seed"],
+            options=dict(data["options"]),
+        )
+        return TrialRecord(
+            spec=spec,
+            values=dict(data["values"]),
+            error=data["error"],
+            wall_seconds=data["wall_seconds"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"malformed persisted record: {exc!r}") from None
+
+
+def _is_scalar(value: Any) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+#: Columns the writer itself owns; option/value keys with these names
+#: are prefixed rather than silently overwritten.
+_RESERVED_COLUMNS = ("seed", "wall_seconds", "error")
+
+
+def flatten_record(record: TrialRecord) -> Dict[str, Any]:
+    """One flat CSV row: scalar columns as-is, the rest as JSON cells.
+
+    Option keys colliding with the writer's own columns get an
+    ``option_`` prefix; value keys colliding with anything placed
+    before them get a ``value_`` prefix — the JSONL keeps the
+    originals either way.
+    """
+    flat: Dict[str, Any] = {"seed": record.spec.seed}
+    taken = set(_RESERVED_COLUMNS)
+    for key, value in record.spec.options.items():
+        column = key if key not in taken else f"option_{key}"
+        taken.add(column)
+        flat[column] = value if _is_scalar(value) else json.dumps(value)
+    for key, value in record.values.items():
+        column = key if key not in taken else f"value_{key}"
+        taken.add(column)
+        flat[column] = value if _is_scalar(value) else json.dumps(value)
+    flat["wall_seconds"] = record.wall_seconds
+    flat["error"] = record.error or ""
+    return flat
+
+
+class RecordWriter:
+    """Stream trial records into a persisted sweep directory.
+
+    Opens ``records.jsonl`` and ``records.csv`` immediately.  The CSV
+    header is fixed by the first *successful* record (rows before it
+    are buffered, rows after it may omit columns — blank cells — but
+    never add them), so a campaign whose leading trials errored still
+    yields a CSV with the value columns.  The JSONL always streams;
+    the CSV buffer holds only the flat rows of leading *error*
+    records, so its size is bounded by the number of failures before
+    the first success.
+
+    :meth:`close` writes the manifest; it runs at most once.  The
+    manifest is the loader's completeness receipt, so it is written
+    only on an orderly close: when the ``with`` block exits on an
+    exception (Ctrl-C mid-campaign, a dying worker pool), the context
+    manager closes the file handles but *withholds* the manifest,
+    leaving a directory that :func:`load_sweep_result` rejects instead
+    of silently passing off a partial matrix as a complete one.
+    """
+
+    def __init__(self, out_dir: Union[str, Path], sweep_id: str = "sweep") -> None:
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        # A manifest left by a previous run into this directory would
+        # vouch for *this* run's records if we abort — drop it first
+        # so "manifest present" always means "this write completed".
+        (self.out_dir / MANIFEST_JSON).unlink(missing_ok=True)
+        self.sweep_id = sweep_id
+        self.count = 0
+        self._jsonl: Optional[IO[str]] = (self.out_dir / RECORDS_JSONL).open(
+            "w", encoding="utf-8"
+        )
+        try:
+            self._csv_file: Optional[IO[str]] = (
+                self.out_dir / RECORDS_CSV
+            ).open("w", encoding="utf-8", newline="")
+        except OSError:
+            self._jsonl.close()
+            raise
+        self._csv: Optional[csv.DictWriter] = None
+        self._csv_pending: List[Dict[str, Any]] = []
+        self._closed = False
+
+    def write(self, record: TrialRecord) -> None:
+        """Append one record to both files (call in spec order)."""
+        if self._closed:
+            raise PersistenceError(f"RecordWriter({self.out_dir}) is closed")
+        assert self._jsonl is not None
+        json.dump(record_to_dict(record), self._jsonl, separators=(",", ":"))
+        self._jsonl.write("\n")
+        flat = flatten_record(record)
+        if self._csv is not None:
+            self._csv.writerow(flat)
+        elif record.ok:
+            # First successful record: its columns become the header;
+            # flush anything buffered before it, then the record.
+            self._start_csv(flat)
+            self._csv.writerow(flat)
+        else:
+            # Error records carry no value columns — hold them back so
+            # they cannot truncate the header and silently drop every
+            # later record's result columns.  The buffer holds flat
+            # error rows only (successes always stream), a deliberate
+            # memory cost paid only by runs that fail from the start.
+            self._csv_pending.append(flat)
+        self.count += 1
+
+    def _start_csv(self, header_row: Dict[str, Any]) -> None:
+        assert self._csv_file is not None
+        fieldnames = list(header_row)
+        for pending in self._csv_pending:
+            fieldnames.extend(k for k in pending if k not in fieldnames)
+        self._csv = csv.DictWriter(
+            self._csv_file,
+            fieldnames=fieldnames,
+            restval="",
+            extrasaction="ignore",
+        )
+        self._csv.writeheader()
+        for pending in self._csv_pending:
+            self._csv.writerow(pending)
+        self._csv_pending = []
+
+    def _release_files(self) -> None:
+        if self._csv is None and self._csv_pending:
+            # Every record errored; emit the CSV from what there is.
+            self._start_csv(self._csv_pending[0])
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+        if self._csv_file is not None:
+            self._csv_file.close()
+            self._csv_file = None
+
+    def close(self, wall_seconds: float = 0.0, jobs: int = 1) -> None:
+        """Flush both files and write the manifest (idempotent).
+
+        Only this method produces ``manifest.json`` — a directory
+        without one is, by construction, an aborted write.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._release_files()
+        manifest = {
+            "schema": SCHEMA_VERSION,
+            "sweep_id": self.sweep_id,
+            "records": self.count,
+            "wall_seconds": wall_seconds,
+            "jobs": jobs,
+        }
+        with (self.out_dir / MANIFEST_JSON).open("w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+
+    def abort(self) -> None:
+        """Close the file handles without writing a manifest."""
+        if self._closed:
+            return
+        self._closed = True
+        self._release_files()
+
+    def __enter__(self) -> "RecordWriter":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+
+def write_sweep_result(result: SweepResult, out_dir: Union[str, Path]) -> Path:
+    """Persist an already-materialised sweep result in one call."""
+    with RecordWriter(out_dir, sweep_id=result.sweep_id) as writer:
+        for record in result:
+            writer.write(record)
+        writer.close(wall_seconds=result.wall_seconds, jobs=result.jobs)
+    return Path(out_dir)
+
+
+def load_sweep_result(in_dir: Union[str, Path]) -> SweepResult:
+    """Reload a persisted sweep directory into a :class:`SweepResult`.
+
+    Records return in their persisted (= spec) order, so re-running an
+    aggregation over the reloaded result renders the same table, byte
+    for byte, as the original run.
+    """
+    in_dir = Path(in_dir)
+    manifest_path = in_dir / MANIFEST_JSON
+    records_path = in_dir / RECORDS_JSONL
+    if not manifest_path.is_file() or not records_path.is_file():
+        raise PersistenceError(
+            f"{in_dir} is not a persisted sweep directory "
+            f"(need {MANIFEST_JSON} and {RECORDS_JSONL})"
+        )
+    with manifest_path.open("r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    schema = manifest.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise PersistenceError(
+            f"unsupported schema version {schema!r} in {manifest_path} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    records: List[TrialRecord] = []
+    with records_path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(record_from_dict(json.loads(line)))
+            except json.JSONDecodeError as exc:
+                raise PersistenceError(
+                    f"{records_path}:{line_no}: invalid JSON ({exc})"
+                ) from None
+    expected = manifest.get("records")
+    if expected != len(records):
+        raise PersistenceError(
+            f"{in_dir}: manifest promises {expected} records, "
+            f"{RECORDS_JSONL} holds {len(records)} (truncated write?)"
+        )
+    return SweepResult(
+        sweep_id=manifest.get("sweep_id", "sweep"),
+        records=records,
+        wall_seconds=manifest.get("wall_seconds", 0.0),
+        jobs=manifest.get("jobs", 1),
+    )
+
+
+__all__ = [
+    "MANIFEST_JSON",
+    "RECORDS_CSV",
+    "RECORDS_JSONL",
+    "RecordWriter",
+    "SCHEMA_VERSION",
+    "flatten_record",
+    "load_sweep_result",
+    "record_from_dict",
+    "record_to_dict",
+    "write_sweep_result",
+]

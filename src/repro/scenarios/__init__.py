@@ -12,11 +12,17 @@ the grid itself the input:
   :class:`CampaignSpec` (axis lists whose cross-product compiles to a
   :class:`~repro.runtime.spec.SweepSpec` on the PR 1 runtime);
 * :mod:`~repro.scenarios.trial` — the one shared trial function that
-  assembles simulator + network + protocol from a compiled spec;
+  assembles simulator + network + protocol from a compiled spec and
+  reports Definition 1/2 property columns via the shared checker in
+  :mod:`repro.verification.properties`;
 * :mod:`~repro.scenarios.campaign` — execution plus the
-  (protocol × timing × adversary) aggregate table;
+  (protocol × timing × adversary) aggregate table with per-cell
+  ``def1_ok`` / ``def2_ok`` check fractions, and
+  :func:`~repro.scenarios.campaign.load_campaign` to reaggregate a
+  persisted record directory byte-identically;
 * :mod:`~repro.scenarios.cli` — the ``python -m repro campaign``
-  subcommand.
+  subcommand (``--out DIR`` streams per-trial JSONL/CSV records,
+  ``--from DIR`` reloads them without re-running).
 
 Because campaigns compile down to ordinary sweeps, they inherit the
 runtime's guarantees for free: collision-free derived seeds,
@@ -29,7 +35,7 @@ process-pool parallelism, and spec-ordered byte-identical aggregation.
 ['htlc', 'htlc', 'weak', 'weak']
 """
 
-from .campaign import GROUP_AXES, aggregate_campaign, run_campaign
+from .campaign import GROUP_AXES, aggregate_campaign, load_campaign, run_campaign
 from .registry import (
     ADVERSARIES,
     PROTOCOLS,
@@ -38,6 +44,7 @@ from .registry import (
     available_protocols,
     available_timings,
     available_topologies,
+    axis_descriptions,
     build_topology,
     check_adversary,
     check_topology,
@@ -60,9 +67,11 @@ __all__ = [
     "available_protocols",
     "available_timings",
     "available_topologies",
+    "axis_descriptions",
     "build_topology",
     "check_adversary",
     "check_topology",
+    "load_campaign",
     "make_adversary",
     "protocol_defaults",
     "run_campaign",

@@ -7,43 +7,97 @@ the paper's theorems speak in: *which protocol survives which network
 against which scheduler*.  Reduction happens in the parent process over
 spec-ordered records, so the rendered table is byte-identical whatever
 the worker count.
+
+Next to the outcome columns, every row reports the share of its runs
+on which the protocol's *own* definition held (``def1_ok`` for the
+time-bounded/HTLC protocols, ``def2_ok`` for the weak/certified ones;
+the inapplicable column renders ``-``), computed per trial by
+:mod:`repro.verification.properties`.
+
+Aggregation consumes a :class:`~repro.runtime.aggregate.SweepResult`,
+which may equally come from a live executor run or from
+:func:`~repro.runtime.persist.load_sweep_result` on a ``--out``
+directory — :func:`load_campaign` re-renders a persisted campaign
+byte-identically without re-running a single trial.
 """
 
 from __future__ import annotations
 
 import itertools
+from pathlib import Path
 from typing import Union
 
+from ..errors import PersistenceError, ScenarioError
 from ..experiments.harness import ExperimentResult, fraction, mean
 from ..experiments.tables import render_table
-from ..runtime import Executor, SweepResult, resolve_executor
-from .spec import CampaignSpec
+from ..runtime import Executor, SweepResult, load_sweep_result, resolve_executor
+from .spec import TRIAL_REF, CampaignSpec
 
 #: Options that define aggregation groups, in row order.
 GROUP_AXES = ("protocol", "timing_name", "adversary")
 
 
-def aggregate_campaign(sweep: SweepResult) -> ExperimentResult:
-    """Reduce campaign records to the (protocol × timing × adversary) table."""
+def _check_fraction(records, key):
+    """Fraction of applicable definition checks that passed, or ``-``.
+
+    ``None`` marks a record whose protocol is not checked against this
+    definition (see :func:`repro.verification.properties.property_columns`);
+    a group with no applicable records renders ``-``, distinct from a
+    checked-and-failed 0.0.
+    """
+    flags = [r[key] for r in records if r.get(key) is not None]
+    return fraction(flags) if flags else "-"
+
+
+def aggregate_campaign(
+    sweep: SweepResult, skip_errors: bool = False
+) -> ExperimentResult:
+    """Reduce campaign records to the (protocol × timing × adversary) table.
+
+    A failed trial is fatal by default (:meth:`SweepResult.raise_any`);
+    ``skip_errors=True`` instead aggregates the successful records and
+    notes how many were dropped — the recovery path for a persisted
+    campaign too expensive to re-run (``--from DIR --skip-errors``).
+    """
     result = ExperimentResult(
         exp_id=sweep.sweep_id.upper(),
         title="scenario-matrix campaign",
         claim=(
             "per (protocol, timing model, adversary) group: how often the "
-            "payment completes, aborts, and terminates, and at what "
-            "latency/message cost."
+            "payment completes, aborts, and terminates, whether the "
+            "protocol's definition held, and at what latency/message cost."
         ),
         columns=[
             "protocol", "timing", "adversary", "runs", "bob_paid",
-            "committed", "aborted", "terminated", "mean_latency",
-            "mean_msgs",
+            "committed", "aborted", "terminated", "def1_ok", "def2_ok",
+            "mean_latency", "mean_msgs",
         ],
     )
-    sweep.raise_any()
+    if not sweep.records:
+        # CampaignSpec.compile() can never produce zero trials, so an
+        # empty sweep is always an anomaly (e.g. a doctored --from
+        # directory) — an empty table exiting 0 would hide it.
+        raise ScenarioError(
+            f"sweep {sweep.sweep_id!r} has no records to aggregate"
+        )
+    if skip_errors:
+        failed = len(sweep.errors())
+        if failed == len(sweep.records):
+            # Nothing survived — an empty table exiting 0 would let a
+            # fully-failed campaign masquerade as success.
+            sweep.raise_any()
+        if failed:
+            result.note(
+                f"{failed}/{len(sweep)} trials failed and were skipped "
+                "(fractions are shares of the surviving runs)."
+            )
+    else:
+        sweep.raise_any()
     for group in itertools.product(
         *(sweep.distinct(axis) for axis in GROUP_AXES)
     ):
         records = sweep.select(**dict(zip(GROUP_AXES, group)))
+        records = [r for r in records if r.ok]
         if not records:
             continue
         protocol, timing, adversary = group
@@ -56,15 +110,22 @@ def aggregate_campaign(sweep: SweepResult) -> ExperimentResult:
             committed=fraction(r["committed"] for r in records),
             aborted=fraction(r["aborted"] for r in records),
             terminated=fraction(r["all_terminated"] for r in records),
+            def1_ok=_check_fraction(records, "def1_ok"),
+            def2_ok=_check_fraction(records, "def2_ok"),
             mean_latency=mean(r["latency"] for r in records),
             mean_msgs=mean(r["messages"] for r in records),
         )
+    survivors = [r for r in sweep if r.ok]
     topologies = sorted(
-        {r.spec.opt("topology") for r in sweep}
+        {str(r.spec.opt("topology")) for r in survivors}
     )
     result.note(
-        f"{len(sweep)} runs pooled over topologies {', '.join(topologies)}; "
+        f"{len(survivors)} runs pooled over topologies {', '.join(topologies)}; "
         "fractions are shares of a group's runs."
+    )
+    result.note(
+        "def1_ok/def2_ok: share of runs satisfying the protocol's own "
+        "definition ('-' = not this protocol's contract)."
     )
     return result
 
@@ -77,4 +138,34 @@ def run_campaign(
     return aggregate_campaign(resolve_executor(executor).run(campaign.compile()))
 
 
-__all__ = ["GROUP_AXES", "aggregate_campaign", "render_table", "run_campaign"]
+def load_campaign(
+    in_dir: Union[str, Path], skip_errors: bool = False
+) -> ExperimentResult:
+    """Reaggregate a campaign persisted with ``--out`` / RecordWriter.
+
+    The records reload in spec order with exact float round-trips, so
+    the rendered table is byte-identical to the original run's.
+    ``skip_errors`` salvages a directory whose run had failed trials.
+
+    Any persisted sweep loads, but only campaign records aggregate to
+    campaign columns — a directory holding some other sweep's records
+    is rejected up front rather than failing on a missing column.
+    """
+    sweep = load_sweep_result(in_dir)
+    foreign = {r.spec.fn for r in sweep} - {TRIAL_REF}
+    if foreign:
+        raise PersistenceError(
+            f"{in_dir} holds records of {sorted(foreign)}, not campaign "
+            f"trials ({TRIAL_REF}); aggregate it with the runtime API "
+            "instead"
+        )
+    return aggregate_campaign(sweep, skip_errors=skip_errors)
+
+
+__all__ = [
+    "GROUP_AXES",
+    "aggregate_campaign",
+    "load_campaign",
+    "render_table",
+    "run_campaign",
+]

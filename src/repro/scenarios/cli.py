@@ -4,7 +4,9 @@ Usage::
 
     python -m repro campaign --protocols htlc,timebounded,weak \
         --timing sync,partial,async --adversaries none,delayer --trials 5
-    python -m repro campaign --topologies linear-1,linear-5 --jobs 4
+    python -m repro campaign --topologies linear-1,geom-5 --jobs 4
+    python -m repro campaign --trials 20 --jobs 4 --out runs/big
+    python -m repro campaign --from runs/big          # reload, no re-run
     python -m repro campaign --list-axes
 
 Axis values are comma-separated registry names (see ``--list-axes``);
@@ -12,6 +14,13 @@ the cross-product of all axes times ``--trials`` Monte-Carlo
 repetitions compiles to one sweep on the runtime, so ``--jobs N`` fans
 trials out over a process pool and still renders a byte-identical
 table.
+
+``--out DIR`` streams every per-trial record to ``DIR/records.jsonl``
+(+ a flat ``records.csv`` and a manifest) as the executor yields it;
+``--from DIR`` reloads such a directory and reaggregates without
+re-running anything — the table is byte-identical to the original
+run's, so downstream analysis scales to matrix sizes where re-running
+is not an option.
 """
 
 from __future__ import annotations
@@ -20,15 +29,10 @@ import argparse
 import time
 from typing import List, Optional
 
-from ..errors import ScenarioError
-from ..runtime import default_jobs, resolve_executor
-from .campaign import aggregate_campaign, render_table
-from .registry import (
-    available_adversaries,
-    available_protocols,
-    available_timings,
-    available_topologies,
-)
+from ..errors import PersistenceError, ScenarioError
+from ..runtime import RecordWriter, TrialError, default_jobs, resolve_executor
+from .campaign import aggregate_campaign, load_campaign, render_table
+from .registry import available_protocols, axis_descriptions
 from .spec import CampaignSpec
 
 
@@ -37,15 +41,54 @@ def _csv(value: str) -> List[str]:
     return [item.strip() for item in value.split(",") if item.strip()]
 
 
+def _trial_error_hint(skip_errors: bool, out_dir: Optional[str]) -> str:
+    """The one recovery message both aggregation failure paths print."""
+    hint = (
+        "no trials survived to aggregate"
+        if skip_errors
+        else "use --skip-errors to aggregate the surviving trials"
+    )
+    if out_dir:
+        hint += f"; the records are preserved in {out_dir}"
+    return hint
+
+
+def _write_table(table: str, path: str) -> None:
+    """Write the rendered table to ``path``.
+
+    The single writer both the live and ``--from`` branches use — the
+    documented byte-match between their ``--output`` artifacts hangs
+    on this staying one code path.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    print(f"wrote {path}")
+
+
+def _print_axes() -> None:
+    """One block per axis, names with their registry descriptions."""
+    for axis, entries in axis_descriptions().items():
+        print(f"{axis}:")
+        width = max(len(name) for name in entries)
+        for name, doc in entries.items():
+            print(f"  {name.ljust(width)}  {doc}")
+    print("(topology patterns resolve for any N >= 1, e.g. linear-7)")
+
+
 def campaign_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments campaign",
         description="Run a protocol x timing x adversary x topology matrix.",
     )
+    # Matrix flags keep None as their parse-time default so an
+    # explicitly passed value — under any argparse spelling, including
+    # prefix abbreviations and -j4 — is distinguishable from "not
+    # given"; the real defaults are filled in below, after the --from
+    # conflict check.
     parser.add_argument(
         "--protocols",
         type=_csv,
-        default=available_protocols(),
+        default=None,
         metavar="P1,P2",
         help=f"protocol axis (default: {','.join(available_protocols())})",
     )
@@ -54,31 +97,33 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         "--timings",
         dest="timings",
         type=_csv,
-        default=["sync", "partial", "async"],
+        default=None,
         metavar="T1,T2",
         help="timing-model axis (default: sync,partial,async)",
     )
     parser.add_argument(
         "--adversaries",
         type=_csv,
-        default=["none"],
+        default=None,
         metavar="A1,A2",
         help="adversary axis (default: none)",
     )
     parser.add_argument(
         "--topologies",
         type=_csv,
-        default=["linear-3"],
+        default=None,
         metavar="G1,G2",
         help="topology axis (default: linear-3)",
     )
     parser.add_argument(
-        "--trials", type=int, default=3, metavar="K",
+        "--trials", type=int, default=None, metavar="K",
         help="Monte-Carlo repetitions per matrix cell (default: 3)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
-        "--rho", type=float, default=0.0, metavar="RHO",
+        "--seed", type=int, default=None, help="master seed (default: 0)"
+    )
+    parser.add_argument(
+        "--rho", type=float, default=None, metavar="RHO",
         help="clock-drift bound for every participant (default: 0)",
     )
     parser.add_argument(
@@ -93,6 +138,35 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "stream per-trial records to DIR (records.jsonl + records.csv "
+            "+ manifest.json), reloadable with --from"
+        ),
+    )
+    parser.add_argument(
+        "--from",
+        dest="from_dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "reaggregate a --out directory instead of running trials "
+            "(matrix flags conflict and are rejected; the table is "
+            "byte-identical to the original run's)"
+        ),
+    )
+    parser.add_argument(
+        "--skip-errors",
+        action="store_true",
+        help=(
+            "aggregate over successful trials when some failed (noted "
+            "in the table) instead of aborting — the recovery path for "
+            "an expensive --from directory"
+        ),
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         default=None,
@@ -101,37 +175,102 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list-axes",
         action="store_true",
-        help="list registered axis values and exit",
+        help="list registered axis values with descriptions and exit",
     )
     args = parser.parse_args(argv)
 
     if args.list_axes:
-        print(f"protocols:   {', '.join(available_protocols())}")
-        print(f"timings:     {', '.join(available_timings())}")
-        print(f"adversaries: {', '.join(available_adversaries())}")
-        print(f"topologies:  {', '.join(available_topologies())} (any N >= 1)")
+        _print_axes()
+        return 0
+
+    if args.from_dir is not None:
+        # Silently ignoring --trials/--protocols/... here would let a
+        # stale table masquerade as the re-run the flags asked for.
+        # Checked on the parsed namespace, so every argparse spelling
+        # (abbreviations, -j4, --flag=value) is caught.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--protocols", args.protocols),
+                ("--timing", args.timings),
+                ("--adversaries", args.adversaries),
+                ("--topologies", args.topologies),
+                ("--trials", args.trials),
+                ("--seed", args.seed),
+                ("--rho", args.rho),
+                ("--jobs", args.jobs),
+                ("--out", args.out),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            parser.error(
+                "--from reaggregates existing records and runs no "
+                f"trials; drop {', '.join(conflicting)}"
+            )
+        try:
+            result = load_campaign(args.from_dir, skip_errors=args.skip_errors)
+        except TrialError as exc:
+            # The persisted run had failed trials — loadable, but not
+            # aggregatable without dropping them (and with nothing
+            # left to drop to, not aggregatable at all).
+            parser.error(
+                f"{exc}\n({_trial_error_hint(args.skip_errors, None)})"
+            )
+        except (PersistenceError, ScenarioError) as exc:
+            parser.error(str(exc))
+        table = render_table(result)
+        print(table)
+        print(f"(reaggregated {args.from_dir}, no trials re-run)")
+        if args.output:
+            _write_table(table, args.output)
         return 0
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
+    # Only protocols/timings have CLI-level defaults; every other
+    # matrix default lives once, on the CampaignSpec dataclass —
+    # omitted flags simply aren't passed.
+    matrix = {
+        "protocols": args.protocols if args.protocols is not None
+        else available_protocols(),
+        "timings": args.timings if args.timings is not None
+        else ["sync", "partial", "async"],
+    }
+    for field in ("adversaries", "topologies", "trials", "seed", "rho"):
+        value = getattr(args, field)
+        if value is not None:
+            matrix[field] = value
     try:
-        campaign = CampaignSpec(
-            protocols=args.protocols,
-            timings=args.timings,
-            adversaries=args.adversaries,
-            topologies=args.topologies,
-            trials=args.trials,
-            seed=args.seed,
-            rho=args.rho,
-        )
+        campaign = CampaignSpec(**matrix)
         sweep = campaign.compile()
     except ScenarioError as exc:
         parser.error(str(exc))
 
     t0 = time.perf_counter()
     with resolve_executor(jobs=jobs) as executor:
-        result = aggregate_campaign(executor.run(sweep))
+        if args.out:
+            try:
+                writer = RecordWriter(args.out, sweep_id=sweep.sweep_id)
+            except OSError as exc:
+                parser.error(f"cannot write records to {args.out}: {exc}")
+            # Stream records to disk as the executor yields them; the
+            # writer holds at most the error rows seen before the
+            # first success (see RecordWriter), never the campaign.
+            with writer:
+                sweep_result = executor.run(sweep, sink=writer.write)
+                writer.close(
+                    wall_seconds=sweep_result.wall_seconds, jobs=jobs
+                )
+        else:
+            sweep_result = executor.run(sweep)
+    try:
+        result = aggregate_campaign(sweep_result, skip_errors=args.skip_errors)
+    except TrialError as exc:
+        parser.error(
+            f"{exc}\n({_trial_error_hint(args.skip_errors, args.out)})"
+        )
     elapsed = time.perf_counter() - t0
     table = render_table(result)
     footer = (
@@ -140,12 +279,12 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     )
     print(table)
     print(footer)
+    if args.out:
+        print(f"wrote {writer.count} records to {args.out}")
     if args.output:
         # Only the table: the artifact stays byte-identical across
         # --jobs values (the footer's wall clock and job count do not).
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(table + "\n")
-        print(f"wrote {args.output}")
+        _write_table(table, args.output)
     return 0
 
 

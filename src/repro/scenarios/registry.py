@@ -13,6 +13,21 @@ time-bounded and HTLC protocols need an assumed delay bound Δ once the
 timing model publishes none (partial synchrony, asynchrony — running
 them there is exactly what campaigns are for); the weak and certified
 protocols need finite patience so impatient aborts bound termination.
+
+Every entry is self-describing: the one-line descriptions shown by
+``python -m repro campaign --list-axes`` are sourced from the entries'
+own docstrings (factories) or ``doc`` fields (protocol defaults) via
+:func:`axis_descriptions`, and the docs-consistency CI check
+(``tools/check_docs.py``) walks the same function — so the registry,
+the CLI listing, and the documentation tables cannot drift apart.
+
+Usage::
+
+    >>> from repro.scenarios.registry import build_topology, make_adversary
+    >>> topo = build_topology("geom-3")          # non-linear fee ladder
+    >>> adv = make_adversary("bob-edge", topo)   # needs the topology
+    >>> make_adversary("delayer") is not None    # topology-free
+    True
 """
 
 from __future__ import annotations
@@ -22,9 +37,11 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.topology import PaymentTopology
 from ..errors import ScenarioError
+from ..ledger.asset import Amount
 from ..net.adversary import (
     Adversary,
     CertificateWithholdingAdversary,
+    EdgeDelayAdversary,
     KindDelayAdversary,
     NullAdversary,
     PredicateDelayAdversary,
@@ -41,16 +58,54 @@ ASSUMED_DELTA = 1.0
 DEFAULT_HORIZON = 50_000.0
 
 
+def _doc_line(obj: Any) -> str:
+    """First docstring line — the single source for axis descriptions."""
+    doc = (getattr(obj, "__doc__", "") or "").strip()
+    return doc.splitlines()[0].strip() if doc else ""
+
+
 # -- timing models -------------------------------------------------------
 
-#: name -> primitive ``(kind, params)`` descriptor for
-#: :func:`repro.experiments.harness.build_timing`.
+def _timing_sync() -> Tuple[str, Dict[str, float]]:
+    """Synchronous network: every message delivered within Δ=1 (jittered)."""
+    return ("synchronous", {"delta": 1.0})
+
+
+def _timing_sync_tight() -> Tuple[str, Dict[str, float]]:
+    """Synchronous network pinned to the bound: every delay is exactly Δ=1."""
+    # min_delay == delta collapses the sampling window to Δ itself, so
+    # honest and adversarial delays alike land exactly on the bound.
+    return ("synchronous", {"delta": 1.0, "min_delay": 1.0})
+
+
+def _timing_partial() -> Tuple[str, Dict[str, float]]:
+    """Partial synchrony, GST=40: unbounded delays until t=40, then Δ=1."""
+    return ("partial", {"gst": 40.0, "delta": 1.0})
+
+
+def _timing_partial_late() -> Tuple[str, Dict[str, float]]:
+    """Partial synchrony, GST=400: stabilises after most protocol timeouts."""
+    return ("partial", {"gst": 400.0, "delta": 1.0})
+
+
+def _timing_async() -> Tuple[str, Dict[str, float]]:
+    """Asynchronous network: exponential delays (mean 1) capped at 500."""
+    return ("asynchronous", {"mean_delay": 1.0, "max_delay": 500.0})
+
+
+#: name -> factory for the primitive ``(kind, params)`` descriptor that
+#: :func:`repro.experiments.harness.build_timing` consumes.
+_TIMING_FACTORIES: Dict[str, Callable[[], Tuple[str, Dict[str, float]]]] = {
+    "sync": _timing_sync,
+    "sync-tight": _timing_sync_tight,
+    "partial": _timing_partial,
+    "partial-late": _timing_partial_late,
+    "async": _timing_async,
+}
+
+#: name -> primitive ``(kind, params)`` descriptor (materialised once).
 TIMINGS: Dict[str, Tuple[str, Dict[str, float]]] = {
-    "sync": ("synchronous", {"delta": 1.0}),
-    "sync-tight": ("synchronous", {"delta": 1.0, "jitter": 0.0}),
-    "partial": ("partial", {"gst": 40.0, "delta": 1.0}),
-    "partial-late": ("partial", {"gst": 400.0, "delta": 1.0}),
-    "async": ("asynchronous", {"mean_delay": 1.0, "max_delay": 500.0}),
+    name: factory() for name, factory in _TIMING_FACTORIES.items()
 }
 
 
@@ -66,35 +121,74 @@ def timing_descriptor(name: str) -> Tuple[str, Dict[str, float]]:
 
 # -- adversaries -------------------------------------------------------------
 
-def _make_none() -> Optional[Adversary]:
+#: Adversary factories take the (already built) payment topology so
+#: targeted attacks can name their victim links; topology-free
+#: adversaries simply ignore the argument.
+AdversaryFactory = Callable[[Optional[PaymentTopology]], Optional[Adversary]]
+
+
+def _make_none(topology: Optional[PaymentTopology] = None) -> Optional[Adversary]:
+    """Honest network: the timing model's own delays, nothing else."""
     return None
 
 
-def _make_null() -> Adversary:
+def _make_null(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Explicit no-op adversary (distinguishable from 'none' in traces)."""
     return NullAdversary()
 
 
-def _make_delayer() -> Adversary:
-    # Stretch *every* message as far as the timing model allows: the
-    # maximally slow network that is still legal under the model.
+def _make_delayer(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Stretch every message as far as the timing model legally allows."""
+    # The maximally slow network that is still legal under the model.
     return PredicateDelayAdversary(lambda envelope: True, delay=HOLD)
 
 
-def _make_cert_holder() -> Adversary:
+def _make_cert_holder(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Hold every certificate (χ) message — the impossibility adversary."""
     return CertificateWithholdingAdversary()
 
 
-def _make_money_delayer() -> Adversary:
+def _make_money_delayer(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Hold every MONEY message as long as legal; other traffic flows."""
     return KindDelayAdversary((MsgKind.MONEY,), delay=HOLD)
 
 
-#: name -> zero-argument factory, called inside the trial process.
-ADVERSARIES: Dict[str, Callable[[], Optional[Adversary]]] = {
+def _make_decision_holder(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Hold every DECISION message: starve commit/abort certificates."""
+    return KindDelayAdversary((MsgKind.DECISION,), delay=HOLD)
+
+
+def _make_alice_edge(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Hold all traffic on Alice's boundary link c0 ↔ e0."""
+    # Alice and her escrow are named c0/e0 on every path length, so
+    # this boundary attack needs no topology.
+    return EdgeDelayAdversary([("c0", "e0"), ("e0", "c0")], delay=HOLD)
+
+
+def _make_bob_edge(topology: Optional[PaymentTopology] = None) -> Adversary:
+    """Hold all traffic on Bob's boundary link e_{n-1} ↔ c_n (Theorem 2's target)."""
+    if topology is None:
+        raise ScenarioError(
+            "adversary 'bob-edge' targets the last hop and needs the "
+            "topology: make_adversary('bob-edge', topology)"
+        )
+    last_escrow = topology.escrow(topology.n_escrows - 1)
+    bob = topology.bob
+    return EdgeDelayAdversary(
+        [(last_escrow, bob), (bob, last_escrow)], delay=HOLD
+    )
+
+
+#: name -> factory, called inside the trial process with the topology.
+ADVERSARIES: Dict[str, AdversaryFactory] = {
     "none": _make_none,
     "null": _make_null,
     "delayer": _make_delayer,
     "cert-holder": _make_cert_holder,
     "money-delayer": _make_money_delayer,
+    "decision-holder": _make_decision_holder,
+    "alice-edge": _make_alice_edge,
+    "bob-edge": _make_bob_edge,
 }
 
 
@@ -107,12 +201,54 @@ def check_adversary(name: str) -> str:
     return name
 
 
-def make_adversary(name: str) -> Optional[Adversary]:
-    """Build the adversary registered under ``name`` (``None`` = honest)."""
-    return ADVERSARIES[check_adversary(name)]()
+def make_adversary(
+    name: str, topology: Optional[PaymentTopology] = None
+) -> Optional[Adversary]:
+    """Build the adversary registered under ``name`` (``None`` = honest).
+
+    ``topology`` lets targeted adversaries (``bob-edge``) resolve their
+    victim links; topology-free adversaries ignore it.
+    """
+    return ADVERSARIES[check_adversary(name)](topology)
 
 
 # -- topologies ------------------------------------------------------------------
+
+def _topology_linear(n: int, payment_id: str) -> PaymentTopology:
+    """Figure 1 path, one asset, linear fees: hop i moves 100+(n-1-i)."""
+    return PaymentTopology.linear(n, payment_id=payment_id)
+
+
+def _topology_multiasset(n: int, payment_id: str) -> PaymentTopology:
+    """Figure 1 path with one asset per hop (cross-currency payment)."""
+    return PaymentTopology.linear(
+        n, per_hop_assets=True, payment_id=payment_id
+    )
+
+
+def _topology_geom(n: int, payment_id: str) -> PaymentTopology:
+    """Figure 1 path with a geometric (non-linear) fee ladder: hop amounts compound ×1.5 toward Alice."""
+    # The communication graph is still the paper's path — the only
+    # shape the core model defines — but the value schedule is
+    # non-linear: each upstream connector's commission compounds
+    # multiplicatively instead of adding a fixed unit, the fee regime
+    # of long routes through expensive intermediaries.
+    base, growth = 100, 1.5
+    amounts = tuple(
+        Amount("X", round(base * growth ** (n - 1 - i))) for i in range(n)
+    )
+    return PaymentTopology(
+        n_escrows=n, amounts=amounts, payment_id=payment_id
+    )
+
+
+#: kind -> builder(n, payment_id); names resolve as ``kind-N``.
+TOPOLOGY_BUILDERS: Dict[str, Callable[[int, str], PaymentTopology]] = {
+    "linear": _topology_linear,
+    "multiasset": _topology_multiasset,
+    "geom": _topology_geom,
+}
+
 
 def check_topology(name: str) -> Tuple[str, int]:
     """Validate a ``kind-N`` topology name without building it.
@@ -129,7 +265,7 @@ def check_topology(name: str) -> Tuple[str, int]:
         ) from None
     if n < 1:
         raise ScenarioError(f"topology {name!r} needs at least one escrow")
-    if kind not in ("linear", "multiasset"):
+    if kind not in TOPOLOGY_BUILDERS:
         raise ScenarioError(
             f"unknown topology kind {kind!r}; available: {available_topologies()}"
         )
@@ -143,16 +279,18 @@ def build_topology(name: str, payment_id: str = "payment") -> PaymentTopology:
 
     * ``linear-N`` — the Figure 1 path with ``N`` escrows, one asset;
     * ``multiasset-N`` — the same path with one asset per hop
-      (cross-currency payments).
+      (cross-currency payments);
+    * ``geom-N`` — the same path with a geometric fee ladder (each
+      connector's commission compounds ×1.5 instead of adding a unit).
     """
     kind, n = check_topology(name)
-    return PaymentTopology.linear(
-        n, per_hop_assets=(kind == "multiasset"), payment_id=payment_id
-    )
+    return TOPOLOGY_BUILDERS[kind](n, payment_id)
 
 
 #: Example names shown by ``--list-axes``; any ``kind-N`` resolves.
-TOPOLOGY_KINDS: Tuple[str, ...] = ("linear-N", "multiasset-N")
+TOPOLOGY_KINDS: Tuple[str, ...] = tuple(
+    f"{kind}-N" for kind in TOPOLOGY_BUILDERS
+)
 
 
 # -- protocols ---------------------------------------------------------------------
@@ -163,22 +301,29 @@ class ProtocolDefaults:
 
     options: Mapping[str, Any] = field(default_factory=dict)
     horizon: float = DEFAULT_HORIZON
+    doc: str = ""
 
 
 PROTOCOLS: Dict[str, ProtocolDefaults] = {
     "timebounded": ProtocolDefaults(
-        options={"delta": ASSUMED_DELTA, "epsilon": 0.05}
+        options={"delta": ASSUMED_DELTA, "epsilon": 0.05},
+        doc="Theorem 1 time-bounded protocol (Definition 1, χ receipts)",
     ),
-    "htlc": ProtocolDefaults(options={"delta": ASSUMED_DELTA}),
+    "htlc": ProtocolDefaults(
+        options={"delta": ASSUMED_DELTA},
+        doc="hash time-locked contracts (Definition 1, preimage receipts)",
+    ),
     "weak": ProtocolDefaults(
         options={
             "tm": "trusted",
             "patience_setup": 120.0,
             "patience_decision": 120.0,
-        }
+        },
+        doc="Theorem 3 weak protocol, trusted TM (Definition 2)",
     ),
     "certified": ProtocolDefaults(
-        options={"patience_setup": 500.0, "patience_decision": 500.0}
+        options={"patience_setup": 500.0, "patience_decision": 500.0},
+        doc="weak protocol with certified notary committee (Definition 2)",
     ),
 }
 
@@ -211,18 +356,52 @@ def available_protocols() -> List[str]:
     return sorted(PROTOCOLS)
 
 
+def axis_descriptions() -> Dict[str, Dict[str, str]]:
+    """Every axis name with its one-line description.
+
+    Descriptions come from the registry entries themselves (factory
+    docstrings; :attr:`ProtocolDefaults.doc`), so ``--list-axes``, the
+    README/PAPER_MAP axis tables, and ``tools/check_docs.py`` all read
+    the same source.
+    """
+    return {
+        "protocols": {
+            name: protocol_defaults(name).doc for name in available_protocols()
+        },
+        "timings": {
+            # A timing added straight into TIMINGS (the pre-factory
+            # registry shape) lists with an empty description — which
+            # check_docs reports as a gap — rather than crashing
+            # --list-axes with a KeyError.
+            name: _doc_line(_TIMING_FACTORIES[name]) if name in _TIMING_FACTORIES else ""
+            for name in available_timings()
+        },
+        "adversaries": {
+            name: _doc_line(ADVERSARIES[name])
+            for name in available_adversaries()
+        },
+        "topologies": {
+            f"{kind}-N": _doc_line(builder)
+            for kind, builder in TOPOLOGY_BUILDERS.items()
+        },
+    }
+
+
 __all__ = [
     "ADVERSARIES",
     "ASSUMED_DELTA",
+    "AdversaryFactory",
     "DEFAULT_HORIZON",
     "PROTOCOLS",
     "ProtocolDefaults",
     "TIMINGS",
+    "TOPOLOGY_BUILDERS",
     "TOPOLOGY_KINDS",
     "available_adversaries",
     "available_protocols",
     "available_timings",
     "available_topologies",
+    "axis_descriptions",
     "build_topology",
     "check_adversary",
     "check_topology",

@@ -6,7 +6,10 @@ the whole world — simulator, network with timing model and adversary,
 ledgers, clocks, protocol — from the primitive options a
 :class:`~repro.scenarios.spec.ScenarioSpec` compiled into the trial
 spec, runs the payment, and returns the outcome / latency / abort
-columns the campaign table aggregates.
+columns the campaign table aggregates, plus the Definition 1/2
+property columns computed by the shared checker
+(:mod:`repro.verification.properties`) — so campaign tables report not
+just *what happened* but *whether the paper's guarantees held*.
 """
 
 from __future__ import annotations
@@ -20,14 +23,16 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
     """Run one scenario trial; pure function of its spec."""
     from ..core.session import PaymentSession
     from ..experiments.harness import build_timing
+    from ..verification.properties import property_columns
     from .registry import build_topology, make_adversary
 
     payment_id = "-".join(str(c) for c in spec.coords) or "campaign"
+    topology = build_topology(spec.opt("topology"), payment_id=payment_id)
     session = PaymentSession(
-        build_topology(spec.opt("topology"), payment_id=payment_id),
+        topology,
         spec.opt("protocol"),
         build_timing(spec.opt("timing")),
-        adversary=make_adversary(spec.opt("adversary")),
+        adversary=make_adversary(spec.opt("adversary"), topology),
         seed=spec.seed,
         rho=spec.opt("rho", 0.0),
         horizon=spec.opt("horizon"),
@@ -35,7 +40,7 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
     )
     outcome = session.run()
     decisions = outcome.decision_kinds_issued()
-    return {
+    record = {
         "bob_paid": outcome.bob_paid,
         "chi_issued": outcome.chi_issued(),
         "committed": "commit" in decisions,
@@ -48,6 +53,15 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
         "messages": outcome.messages_sent,
         "events": outcome.events_executed,
     }
+    record.update(
+        property_columns(
+            outcome,
+            protocol=spec.opt("protocol"),
+            timing=spec.opt("timing"),
+            protocol_options=spec.opt("protocol_options"),
+        )
+    )
+    return record
 
 
 __all__ = ["scenario_trial"]

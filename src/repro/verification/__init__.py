@@ -1,4 +1,6 @@
-"""Bounded exhaustive verification of small protocol instances."""
+"""Bounded exhaustive verification of small protocol instances,
+plus the shared Definition 1/2 property checker campaigns and
+explorers dispatch through (:mod:`repro.verification.properties`)."""
 
 from .explorer import (
     DEFAULT_DECISION_KINDS,
@@ -7,11 +9,29 @@ from .explorer import (
     explore,
     explore_payment,
 )
+from .properties import (
+    DEFINITION_PROFILES,
+    DefinitionProfile,
+    check_outcome,
+    definition1_violations,
+    definition2_violations,
+    definition_profile,
+    patience_is_sufficient,
+    property_columns,
+)
 
 __all__ = [
     "DEFAULT_DECISION_KINDS",
+    "DEFINITION_PROFILES",
+    "DefinitionProfile",
     "ExplorationReport",
     "ScriptedDelayAdversary",
+    "check_outcome",
+    "definition1_violations",
+    "definition2_violations",
+    "definition_profile",
     "explore",
     "explore_payment",
+    "patience_is_sufficient",
+    "property_columns",
 ]

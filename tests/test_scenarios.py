@@ -32,21 +32,104 @@ class TestRegistry:
             model = build_timing(timing_descriptor(name))
             assert hasattr(model, "delivery_time")
 
+    def test_sync_tight_delivers_exactly_at_the_bound(self):
+        """'every delay is exactly Δ=1' must be literally true — the
+        docstring is what --list-axes and the docs advertise."""
+        from repro.experiments.harness import build_timing
+        from repro.sim.rng import RngRegistry
+
+        model = build_timing(timing_descriptor("sync-tight"))
+        rng = RngRegistry(0).stream("t")
+        samples = {model.sample_delay(None, 0.0, rng) for _ in range(20)}
+        assert samples == {1.0}
+
     def test_adversary_names_resolve(self):
         assert make_adversary("none") is None
+        topology = build_topology("linear-3")
         for name in available_adversaries():
             if name != "none":
-                adversary = make_adversary(name)
+                adversary = make_adversary(name, topology)
                 assert hasattr(adversary, "propose_delay")
 
     def test_adversary_factories_return_fresh_instances(self):
         # Stateful adversaries must never be shared between trials.
         assert make_adversary("cert-holder") is not make_adversary("cert-holder")
 
+    def test_targeted_adversaries_know_their_edges(self):
+        topology = build_topology("linear-4")
+        bob_edge = make_adversary("bob-edge", topology)
+        assert bob_edge.edges == {("e3", "c4"), ("c4", "e3")}
+        alice_edge = make_adversary("alice-edge")
+        assert alice_edge.edges == {("c0", "e0"), ("e0", "c0")}
+
+    def test_bob_edge_requires_topology(self):
+        with pytest.raises(ScenarioError):
+            make_adversary("bob-edge")
+
     def test_topology_patterns(self):
         assert build_topology("linear-5").n_escrows == 5
         multi = build_topology("multiasset-3")
         assert len({amt.asset for amt in multi.amounts}) == 3
+
+    def test_geom_topology_has_nonlinear_fee_ladder(self):
+        geom = build_topology("geom-3")
+        units = [amt.units for amt in geom.amounts]
+        assert units == [225, 150, 100]  # x1.5 compounding toward Alice
+        steps = [a - b for a, b in zip(units, units[1:])]
+        assert steps[0] != steps[1]  # non-linear: unequal commissions
+
+    def test_patience_ignores_jitter_fraction(self):
+        """Synchronous jitter is a fraction of the delay window, never
+        an addend: the worst-case delay is delta itself, so patience
+        105 > 10*delta=100 counts as patient whatever the jitter."""
+        from repro.verification.properties import patience_is_sufficient
+
+        options = {"patience_setup": 105.0, "patience_decision": 105.0}
+        assert patience_is_sufficient(
+            ("synchronous", {"delta": 10.0, "jitter": 1.0}), options
+        )
+        assert not patience_is_sufficient(
+            ("synchronous", {"delta": 11.0}), options
+        )
+        assert not patience_is_sufficient(("asynchronous", {}), options)
+
+    def test_every_protocol_has_a_definition_profile(self):
+        """A protocol registered without a checking profile would pass
+        validation and then fail inside every campaign trial."""
+        from repro.verification.properties import DEFINITION_PROFILES
+
+        assert set(DEFINITION_PROFILES) == set(available_protocols())
+
+    def test_definition_profile_cert_kinds_reach_cs1(self):
+        """The profile's alice_cert_kinds must actually drive CS1 for
+        both definitions — not just the Definition 1 branch."""
+        from repro.core.problem import PropertyId
+        from repro.core.session import PaymentSession
+        from repro.net.timing import Synchronous
+        from repro.properties import Status, check_definition2
+
+        outcome = PaymentSession(
+            build_topology("linear-2"),
+            "weak",
+            Synchronous(1.0),
+            protocol_options=dict(protocol_defaults("weak").options),
+        ).run()
+        assert outcome.bob_paid  # committed run: Alice paid, holds χc
+        default = check_definition2(outcome)
+        assert default.status_of(PropertyId.CS1) is Status.HOLDS
+        # With a certificate kind nobody issues, CS1 must flip.
+        skewed = check_definition2(outcome, cert_kinds=("nonexistent",))
+        assert skewed.status_of(PropertyId.CS1) is Status.VIOLATED
+
+    def test_axis_descriptions_cover_every_registered_name(self):
+        from repro.scenarios import axis_descriptions
+
+        described = axis_descriptions()
+        assert sorted(described["protocols"]) == available_protocols()
+        assert sorted(described["timings"]) == available_timings()
+        assert sorted(described["adversaries"]) == available_adversaries()
+        for entries in described.values():
+            assert all(doc for doc in entries.values()), entries
 
     def test_unknown_names_raise_scenario_error(self):
         with pytest.raises(ScenarioError):
@@ -176,6 +259,12 @@ class TestScenarioTrial:
         assert record["bob_paid"] and record["all_terminated"]
         assert record["ledgers_ok"]
         assert record["latency"] > 0.0
+        # Under synchrony with an honest network, every protocol's own
+        # definition holds; the other definition's column is None.
+        checked = record["def1_ok"] if record["definition"] == 1 else record["def2_ok"]
+        unchecked = record["def2_ok"] if record["definition"] == 1 else record["def1_ok"]
+        assert checked is True and unchecked is None
+        assert record["violated_properties"] == []
 
     def test_cert_holder_defeats_timebounded_under_partial_synchrony(self):
         campaign = CampaignSpec(
@@ -188,6 +277,9 @@ class TestScenarioTrial:
         record = run_trial(campaign.compile().trials[0])
         assert record.ok, record.error
         assert not record["bob_paid"]
+        # The cell where the guarantee breaks is exactly where the
+        # property column must say so.
+        assert record["definition"] == 1 and record["def1_ok"] is False
 
     def test_latency_honest_when_horizon_binds(self):
         """A never-settling run reports the horizon, not the last event."""
@@ -238,6 +330,23 @@ class TestCampaignAggregation:
         assert render_table(aggregate_campaign(serial)) == render_table(
             aggregate_campaign(parallel)
         )
+
+    def test_definition_columns_fraction_or_dash(self):
+        """Each row reports its own definition's check fraction; the
+        other definition renders '-' (not checked ≠ checked-and-failed)."""
+        result = run_campaign(self._campaign())
+        for row in result.rows:
+            if row["protocol"] == "htlc":
+                assert isinstance(row["def1_ok"], float)
+                assert row["def2_ok"] == "-"
+            else:  # weak
+                assert row["def1_ok"] == "-"
+                assert isinstance(row["def2_ok"], float)
+        # Synchrony, honest network: the guarantees hold outright.
+        for row in result.rows:
+            if row["timing"] == "sync":
+                checked = row["def1_ok"] if row["protocol"] == "htlc" else row["def2_ok"]
+                assert checked == 1.0
 
     def test_run_campaign_accepts_jobs_int(self):
         a = run_campaign(self._campaign(), executor=2)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Docs-consistency check: registry axes must appear in the docs.
+
+The scenario registry (`repro.scenarios.registry`) is the single
+source of truth for campaign axis names; ``--list-axes`` prints it
+directly, but README.md and docs/PAPER_MAP.md carry hand-written axis
+tables that can rot.  This script fails (exit 1) when any registered
+axis name — protocol, timing model, adversary, or topology pattern —
+is missing from either document, naming each gap.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Also exposed as a tier-1 test via tests/test_docs_consistency.py, so
+a registry change without a docs update fails locally too.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: Documents that must mention every axis name (backticked).
+DOCUMENTS = ("README.md", "docs/PAPER_MAP.md")
+
+
+def find_gaps(root: Path = ROOT) -> List[str]:
+    """All (document, axis, name) gaps, as human-readable strings."""
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.scenarios.registry import axis_descriptions
+    finally:
+        sys.path.pop(0)
+
+    problems: List[str] = []
+    texts = {}
+    for rel in DOCUMENTS:
+        path = root / rel
+        if not path.is_file():
+            problems.append(f"{rel}: missing")
+            continue
+        texts[rel] = path.read_text(encoding="utf-8")
+    for axis, entries in axis_descriptions().items():
+        for name, doc in entries.items():
+            if not doc:
+                problems.append(
+                    f"registry: {axis} entry {name!r} has no description "
+                    "(docstring/doc field)"
+                )
+            for rel, text in texts.items():
+                # Axis names must appear backticked, as registry names,
+                # not as prose coincidences ('none', 'weak'...).
+                if f"`{name}`" not in text:
+                    problems.append(f"{rel}: {axis} name `{name}` not documented")
+    return problems
+
+
+def main() -> int:
+    problems = find_gaps()
+    for problem in problems:
+        print(f"docs-consistency: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"docs-consistency: {len(problems)} problem(s); update "
+            f"{' / '.join(DOCUMENTS)} to match repro/scenarios/registry.py",
+            file=sys.stderr,
+        )
+        return 1
+    print("docs-consistency: all registry axis names documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
