@@ -1,0 +1,170 @@
+"""Benchmark: analysis-subsystem load and group-by throughput.
+
+Two faces:
+
+* under pytest (with the rest of ``benchmarks/``) it pins the
+  analysis pipeline's correctness economics on a ~10k-record
+  directory — the store loads, a grouped percentile query answers,
+  and its aggregates equal the campaign reduction's — while
+  pytest-benchmark records the timings;
+* as a script it prints records/second for the three stages (JSONL
+  load, store build, grouped query)::
+
+      PYTHONPATH=src python benchmarks/bench_analyze.py --records 10000
+
+The records are synthesized (no simulation) so the benchmark measures
+the analysis layer, not the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis import RecordStore, analyze_store
+from repro.runtime import TrialRecord, TrialSpec, load_sweep_result, write_sweep_result
+from repro.runtime.aggregate import SweepResult
+from repro.runtime.spec import derive_seed
+from repro.scenarios.spec import TRIAL_REF
+
+PROTOCOLS = ("htlc", "timebounded", "weak", "certified")
+TIMINGS = ("sync", "partial", "async")
+ADVERSARIES = ("none", "delayer")
+TOPOLOGIES = ("linear-2", "geom-3")
+
+
+def synthetic_records(n: int) -> SweepResult:
+    """~n campaign-shaped records, deterministic, no simulation.
+
+    Values vary with the trial index through fixed arithmetic, so the
+    directory exercises real grouping (every cell distinct) and real
+    distributions (latency spread) while staying reproducible.
+    """
+    records = []
+    cells = [
+        (p, t, a, g)
+        for p in PROTOCOLS
+        for t in TIMINGS
+        for a in ADVERSARIES
+        for g in TOPOLOGIES
+    ]
+    per_cell = max(1, n // len(cells))
+    for protocol, timing, adversary, topology in cells:
+        for s in range(per_cell):
+            coords = (protocol, timing, adversary, topology, s)
+            paid = (s + len(protocol)) % 3 != 0
+            definition = 1 if protocol in ("htlc", "timebounded") else 2
+            spec = TrialSpec(
+                fn=TRIAL_REF,
+                coords=coords,
+                seed=derive_seed(0, "campaign", *coords),
+                options={
+                    "protocol": protocol,
+                    "timing_name": timing,
+                    "adversary": adversary,
+                    "topology": topology,
+                    "rho": 0.0,
+                    "horizon": 50_000.0,
+                },
+            )
+            records.append(
+                TrialRecord(
+                    spec=spec,
+                    values={
+                        "bob_paid": paid,
+                        "committed": paid and definition == 2,
+                        "aborted": not paid,
+                        "all_terminated": True,
+                        "latency": 1.0 + (s % 97) * 0.25,
+                        "messages": 10 + (s % 7),
+                        "def1_ok": paid if definition == 1 else None,
+                        "def2_ok": paid if definition == 2 else None,
+                    },
+                    wall_seconds=0.001,
+                )
+            )
+    return SweepResult(sweep_id="campaign", records=records)
+
+
+def _grouped_query(store: RecordStore):
+    return analyze_store(
+        store,
+        group_by=["protocol", "timing", "adversary"],
+        metrics=["runs", "success", "p50_latency", "p90_latency",
+                 "p99_latency", "mean_latency"],
+    )
+
+
+def test_store_load_matches_record_list(benchmark, tmp_path):
+    """A ~10k-record directory loads into a store whose row count and
+    success column agree with the raw reload."""
+    result = synthetic_records(10_000)
+    write_sweep_result(result, tmp_path / "big")
+    store = benchmark.pedantic(
+        RecordStore.load, args=(tmp_path / "big",), iterations=1, rounds=1
+    )
+    assert len(store) == len(result)
+    reloaded = load_sweep_result(tmp_path / "big")
+    assert list(store.column("bob_paid")) == [
+        r["bob_paid"] for r in reloaded
+    ]
+
+
+def test_grouped_percentiles_match_campaign_reduction(benchmark, tmp_path):
+    """The grouped query over 10k records answers, and its success
+    fractions equal the campaign aggregation's for every group."""
+    from repro.scenarios import aggregate_campaign
+
+    result = synthetic_records(10_000)
+    write_sweep_result(result, tmp_path / "big")
+    store = RecordStore.load(tmp_path / "big")
+    table = benchmark.pedantic(
+        _grouped_query, args=(store,), iterations=1, rounds=1
+    )
+    campaign = aggregate_campaign(result)
+    assert len(table.rows) == len(campaign.rows)
+    for row in table.rows:
+        (match,) = campaign.find_rows(
+            protocol=row["protocol"], timing=row["timing"],
+            adversary=row["adversary"],
+        )
+        assert row["success"] == match["bob_paid"]
+        assert row["runs"] == match["runs"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=10_000)
+    parser.add_argument("--out", default="/tmp/bench-analyze-records")
+    args = parser.parse_args()
+
+    result = synthetic_records(args.records)
+    n = len(result)
+    t0 = time.perf_counter()
+    write_sweep_result(result, args.out)
+    t_write = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reloaded = load_sweep_result(args.out)
+    t_load = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    store = RecordStore.from_records(reloaded.records, sweep_id=reloaded.sweep_id)
+    t_store = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    table = _grouped_query(store)
+    t_query = time.perf_counter() - t0
+
+    print(f"records={n} groups={len(table.rows)}")
+    for stage, seconds in (
+        ("write", t_write), ("load", t_load),
+        ("store", t_store), ("group-by", t_query),
+    ):
+        rate = n / seconds if seconds else float("inf")
+        print(f"  {stage:<9s} {seconds * 1e3:8.1f} ms   {rate:12.0f} records/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ Run:  python examples/trace_analysis.py
 """
 
 from repro import PaymentSession, PaymentTopology, Synchronous
-from repro.analysis import latency_stats, summarize
+from repro.analysis.trace import latency_stats, summarize
 
 
 def run(title, byzantine):

@@ -1,0 +1,71 @@
+"""Post-hoc analysis: trace forensics and persisted-record analytics.
+
+Two layers of hindsight over finished work:
+
+* :mod:`~repro.analysis.trace` — forensics for **one run**: message
+  flow, per-kind latencies, ledger movements, termination order, and
+  the :func:`~repro.analysis.trace.summarize` report the examples
+  print.  (This was the original single-file ``repro/analysis.py``;
+  the names below stay importable from ``repro.analysis`` as legacy
+  aliases.)
+* :mod:`~repro.analysis.store` / :mod:`~repro.analysis.query` /
+  :mod:`~repro.analysis.render` — analytics for **persisted
+  campaigns**: a columnar :class:`RecordStore` over a ``--out``
+  directory, the filter → group-by → metrics pipeline
+  (:func:`analyze_store`, with success fractions, Definition 1/2
+  check fractions, and p50/p90/p99 latency percentiles), and text /
+  CSV / JSON renderers.
+* :mod:`~repro.analysis.cli` — the ``python -m repro analyze DIR``
+  subcommand over all of the above.
+
+>>> from repro.analysis import RecordStore, analyze_store, render
+>>> store = RecordStore.load("runs/big")
+>>> table = analyze_store(store, group_by=["protocol"],
+...                       metrics=["runs", "success", "p90_latency"])
+>>> print(render(table, "text"))
+"""
+
+from .query import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    METRICS,
+    Metric,
+    analyze_store,
+    percentile,
+)
+from .render import RENDERERS, render, render_csv, render_json, render_text
+from .store import Column, RecordStore
+
+# Legacy aliases: the original repro/analysis.py module surface.  New
+# code should import from repro.analysis.trace; these re-exports keep
+# every pre-package import path working unchanged.
+from .trace import (
+    LatencyStats,
+    latency_stats,
+    message_flow,
+    money_flow,
+    summarize,
+    termination_order,
+)
+
+__all__ = [
+    "Column",
+    "DEFAULT_GROUP_BY",
+    "DEFAULT_METRICS",
+    "LatencyStats",
+    "METRICS",
+    "Metric",
+    "RENDERERS",
+    "RecordStore",
+    "analyze_store",
+    "latency_stats",
+    "message_flow",
+    "money_flow",
+    "percentile",
+    "render",
+    "render_csv",
+    "render_json",
+    "render_text",
+    "summarize",
+    "termination_order",
+]

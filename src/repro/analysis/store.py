@@ -1,0 +1,280 @@
+"""Columnar record store: persisted trial records as typed columns.
+
+Per-trial analytics ask column-shaped questions — "latency of every
+run where ``topology=geom-4``", "distinct protocols" — against
+directories holding thousands to millions of
+:class:`~repro.runtime.aggregate.TrialRecord` rows.  Keeping those
+records as a list of dicts makes every such question a full scan over
+Python objects; this module instead transposes them **once** into a
+:class:`RecordStore` of named :class:`Column` arrays:
+
+* scalar spec options (``protocol``, ``topology``, ``rho``, ...) and
+  scalar trial values (``bob_paid``, ``latency``, ...) each become one
+  column;
+* uniformly-typed numeric columns compact into ``array.array`` typed
+  arrays (``'d'`` for floats, ``'q'`` for ints) — one machine word per
+  cell instead of one boxed object;
+* bookkeeping rides along as the ``seed``, ``wall_seconds``, ``ok``,
+  and ``error`` columns, so failed trials stay visible (and countable)
+  without poisoning the value columns, which hold ``None`` for them.
+
+The query layer (:mod:`repro.analysis.query`) works on row-index
+subsets of a store, so filtering and grouping never copy column data.
+
+>>> store = RecordStore.load(out_dir)            # a --out directory
+>>> store.column("protocol")[:2]
+['htlc', 'htlc']
+>>> store.distinct("timing_name")
+['sync', 'partial']
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import PersistenceError
+from ..runtime.aggregate import TrialRecord
+from ..runtime.persist import (
+    _RESERVED_COLUMNS,
+    _is_scalar,
+    load_sweep_result,
+    scan_records,
+)
+
+#: Columns the store itself owns: the CSV writer's reserved names
+#: (shared with persist.flatten_record, so option/value keys collide
+#: and prefix identically in both views) plus ``ok``, which only the
+#: store materialises as a column.
+_STORE_RESERVED = _RESERVED_COLUMNS + ("ok",)
+
+
+class Column:
+    """One named, typed column of a :class:`RecordStore`.
+
+    ``kind`` is ``"float"`` / ``"int"`` / ``"bool"`` / ``"str"`` for
+    columns whose non-``None`` values share one type, ``"object"``
+    for mixed columns — a column's type is a fact about its data, not
+    a schema declaration.  ``None`` cells (a failed trial's value
+    columns) do not change a column's kind, so ``--where`` keeps
+    parsing literals against the real value type; they do force
+    list-backed storage, since typed ``array.array`` data (used for
+    gap-free ``float``/``int`` columns) cannot hold ``None``.
+    """
+
+    __slots__ = ("name", "kind", "data")
+
+    def __init__(self, name: str, values: Sequence[Any]) -> None:
+        self.name = name
+        kinds = {type(v) for v in values if v is not None}
+        has_none = any(v is None for v in values)
+        if kinds == {float}:
+            self.kind = "float"
+            self.data: Sequence[Any] = (
+                list(values) if has_none else array("d", values)
+            )
+        elif kinds == {int}:
+            self.kind = "int"
+            self.data = list(values) if has_none else array("q", values)
+        elif kinds == {bool}:
+            self.kind = "bool"
+            self.data = list(values)
+        elif kinds == {str}:
+            self.kind = "str"
+            self.data = list(values)
+        else:
+            self.kind = "object"
+            self.data = list(values)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.data[index]
+
+    def __iter__(self):
+        return iter(self.data)
+
+    def take(self, indices: Iterable[int]) -> List[Any]:
+        """The column's values at ``indices``, in that order."""
+        data = self.data
+        return [data[i] for i in indices]
+
+    def parse(self, text: str) -> Any:
+        """Parse a CLI literal into this column's value type.
+
+        ``--where rho=0.25`` arrives as the string ``"0.25"``; matching
+        it against a float column requires the float.  Unparseable
+        literals raise ``ValueError`` with the expectation named.
+        """
+        if self.kind == "float":
+            return float(text)
+        if self.kind == "int":
+            return int(text)
+        if self.kind == "bool":
+            lowered = text.strip().lower()
+            if lowered in ("true", "yes", "1"):
+                return True
+            if lowered in ("false", "no", "0"):
+                return False
+            raise ValueError(f"expected a boolean, got {text!r}")
+        return text
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, kind={self.kind!r}, n={len(self)})"
+
+
+class RecordStore:
+    """Trial records transposed into named columns, rows addressable.
+
+    Build one with :meth:`from_records` (any in-memory record list) or
+    :meth:`load` (a persisted ``--out`` directory).  Row order is the
+    records' order — for a persisted campaign that is spec order, which
+    is what lets aggregates over a store match the campaign table.
+    """
+
+    def __init__(
+        self,
+        columns: Dict[str, Column],
+        length: int,
+        sweep_id: str = "sweep",
+        source: Optional[str] = None,
+    ) -> None:
+        self.columns = columns
+        self.length = length
+        self.sweep_id = sweep_id
+        self.source = source
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[TrialRecord],
+        sweep_id: str = "sweep",
+        source: Optional[str] = None,
+    ) -> "RecordStore":
+        """Transpose records into columns (missing cells become None).
+
+        Non-scalar options/values (timing descriptors, option dicts)
+        are embedded as compact JSON strings, mirroring the CSV view;
+        every failed trial contributes ``None`` to each value column
+        and its traceback to the ``error`` column.
+        """
+        names: List[str] = []  # column order: first-seen
+        cells: Dict[str, List[Any]] = {}
+
+        def put(row: int, key: str, value: Any) -> None:
+            if key not in cells:
+                names.append(key)
+                cells[key] = [None] * row
+            cells[key].append(value if _is_scalar(value) else json.dumps(value))
+
+        for row, record in enumerate(records):
+            taken = set(_STORE_RESERVED)
+            for key, value in record.spec.options.items():
+                column = key if key not in taken else f"option_{key}"
+                taken.add(column)
+                put(row, column, value)
+            for key, value in record.values.items():
+                column = key if key not in taken else f"value_{key}"
+                taken.add(column)
+                put(row, column, value)
+            for name in names:  # pad columns this record did not touch
+                if len(cells[name]) == row:
+                    cells[name].append(None)
+        n = len(records)
+        columns = {name: Column(name, cells[name]) for name in names}
+        columns["seed"] = Column("seed", [r.spec.seed for r in records])
+        columns["wall_seconds"] = Column(
+            "wall_seconds", [float(r.wall_seconds) for r in records]
+        )
+        columns["ok"] = Column("ok", [r.ok for r in records])
+        columns["error"] = Column("error", [r.error for r in records])
+        return cls(columns, n, sweep_id=sweep_id, source=source)
+
+    @classmethod
+    def load(
+        cls, in_dir: Union[str, Path], partial: bool = False
+    ) -> "RecordStore":
+        """Load a persisted sweep directory into a store.
+
+        By default the directory must be complete (manifest present and
+        consistent — exactly :func:`~repro.runtime.persist.load_sweep_result`'s
+        contract).  ``partial=True`` instead salvages whatever complete
+        records ``records.jsonl`` holds, manifest or not — the
+        read-only lens on an interrupted campaign.
+        """
+        in_dir = Path(in_dir)
+        if partial:
+            scan = scan_records(in_dir)
+            if not scan.records:
+                raise PersistenceError(
+                    f"{in_dir} holds no loadable records"
+                )
+            return cls.from_records(
+                scan.records,
+                sweep_id=scan.sweep_id,
+                source=str(in_dir),
+            )
+        result = load_sweep_result(in_dir)
+        return cls.from_records(
+            result.records, sweep_id=result.sweep_id, source=str(in_dir)
+        )
+
+    def __len__(self) -> int:
+        return self.length
+
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {', '.join(self.columns)}"
+            ) from None
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """One record's cells as a dict (debugging / JSON export)."""
+        return {name: col[index] for name, col in self.columns.items()}
+
+    def distinct(self, name: str) -> List[Any]:
+        """Ordered distinct values of a column (first-seen order)."""
+        seen: List[Any] = []
+        for value in self.column(name):
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def where(
+        self, match: Dict[str, Any], indices: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Row indices whose cells equal every ``match`` entry.
+
+        ``indices`` restricts the scan to a prior subset, so filters
+        compose without copying any column data.
+        """
+        rows: Iterable[int] = (
+            range(self.length) if indices is None else indices
+        )
+        for name, wanted in match.items():
+            column = self.column(name)
+            rows = [i for i in rows if column[i] == wanted]
+        return list(rows)
+
+    def ok_indices(self, indices: Optional[Sequence[int]] = None) -> List[int]:
+        """The subset of ``indices`` (default: all rows) that succeeded."""
+        ok = self.columns["ok"]
+        rows = range(self.length) if indices is None else indices
+        return [i for i in rows if ok[i]]
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordStore(sweep_id={self.sweep_id!r}, rows={self.length}, "
+            f"columns={len(self.columns)})"
+        )
+
+
+__all__ = ["Column", "RecordStore"]

@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from .core.outcomes import PaymentOutcome
-from .sim.trace import TraceKind, TraceRecorder
+from ..core.outcomes import PaymentOutcome
+from ..sim.trace import TraceKind, TraceRecorder
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,8 @@ Usage::
     repro-experiments --list           # ids + one-line descriptions
     python -m repro campaign ...       # scenario-matrix campaigns
                                        # (see repro.scenarios.cli)
+    python -m repro analyze DIR ...    # slice persisted campaign records
+                                       # (see repro.analysis.cli)
 
 Every experiment is a declarative sweep (see :mod:`repro.runtime`):
 trials are pure functions of their spec, so ``--jobs N`` runs them on a
@@ -37,6 +39,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .scenarios.cli import campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # Post-hoc analytics over a persisted --out directory.
+        from .analysis.cli import analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

@@ -37,9 +37,11 @@ from .executor import (
 )
 from .persist import (
     RecordWriter,
+    ScanResult,
     load_sweep_result,
     record_from_dict,
     record_to_dict,
+    scan_records,
     write_sweep_result,
 )
 from .spec import SweepSpec, TrialSpec, derive_seed, resolve_trial_fn, trial_ref
@@ -49,6 +51,7 @@ __all__ = [
     "JOBS_ENV_VAR",
     "ParallelExecutor",
     "RecordWriter",
+    "ScanResult",
     "SerialExecutor",
     "SweepResult",
     "SweepSpec",
@@ -64,6 +67,7 @@ __all__ = [
     "resolve_trial_fn",
     "run_sweep",
     "run_trial",
+    "scan_records",
     "trial_ref",
     "write_sweep_result",
 ]

@@ -14,8 +14,10 @@ form:
   one column per scalar spec option and per scalar value; non-scalar
   payloads are embedded as JSON strings.  The CSV is derived data —
   reloading always reads the JSONL.
-* ``manifest.json`` — schema version, sweep id, and record count, so a
-  loader can reject partial or foreign directories.
+* ``manifest.json`` — schema version, sweep id, record count, and a
+  ``revision`` counter bumped by every append session, so a loader can
+  reject partial or foreign directories and an operator can see how
+  many times a matrix has been grown.
 
 :class:`RecordWriter` *streams*: it is handed to
 :meth:`~repro.runtime.executor.Executor.run` as a ``sink`` and writes
@@ -26,12 +28,21 @@ process pool), so a parallel campaign never buffers its records twice.
 ...     result = executor.run(sweep, sink=writer.write)
 ...     writer.close(wall_seconds=result.wall_seconds, jobs=result.jobs)
 >>> reloaded = load_sweep_result(out_dir)   # == result, aggregate-wise
+
+Directories can also be **grown**: :func:`scan_records` reads whatever
+complete records a directory holds — manifest or not, salvaging an
+interrupted write up to its last complete line — and a writer opened
+with ``resume_from=scan`` appends new records after the existing ones,
+leaving every prior ``records.jsonl`` byte untouched (the CSV, being
+derived data, is rebuilt).  This is the storage half of campaign
+``--resume``.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, IO, List, Optional, Union
 
@@ -119,6 +130,82 @@ def flatten_record(record: TrialRecord) -> Dict[str, Any]:
     return flat
 
 
+@dataclass
+class ScanResult:
+    """What :func:`scan_records` found in a (possibly partial) directory.
+
+    ``records`` are every complete record in ``records.jsonl``;
+    ``jsonl_bytes`` is the byte length of that valid region (an
+    interrupted write's trailing fragment, if any, lies beyond it);
+    ``manifest`` is the parsed manifest or ``None`` when the directory
+    has none — the partial-directory case ``load_sweep_result``
+    refuses but ``--resume`` repairs.
+    """
+
+    records: List[TrialRecord] = field(default_factory=list)
+    manifest: Optional[Dict[str, Any]] = None
+    jsonl_bytes: int = 0
+
+    @property
+    def sweep_id(self) -> str:
+        return (self.manifest or {}).get("sweep_id", "sweep")
+
+    @property
+    def complete(self) -> bool:
+        """True when a manifest vouches for exactly these records."""
+        return (
+            self.manifest is not None
+            and self.manifest.get("records") == len(self.records)
+        )
+
+
+def scan_records(in_dir: Union[str, Path]) -> ScanResult:
+    """Read a persisted directory's records, tolerating a partial tail.
+
+    Unlike :func:`load_sweep_result`, this accepts directories without
+    a manifest (aborted ``--out`` runs) and directories whose final
+    JSONL line is an interrupted fragment — the fragment is excluded
+    and ``jsonl_bytes`` marks where the valid region ends, so an
+    appending writer can truncate to it and continue.  A malformed
+    line *before* the last one is real corruption and raises
+    :class:`PersistenceError`.  A missing directory or missing
+    ``records.jsonl`` scans as empty.
+    """
+    in_dir = Path(in_dir)
+    manifest: Optional[Dict[str, Any]] = None
+    manifest_path = in_dir / MANIFEST_JSON
+    if manifest_path.is_file():
+        try:
+            with manifest_path.open("r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            manifest = None
+    records: List[TrialRecord] = []
+    valid_bytes = 0
+    records_path = in_dir / RECORDS_JSONL
+    if not records_path.is_file():
+        return ScanResult(records=[], manifest=manifest, jsonl_bytes=0)
+    with records_path.open("rb") as handle:
+        raw_lines = handle.readlines()
+    for line_no, raw in enumerate(raw_lines, start=1):
+        last = line_no == len(raw_lines)
+        try:
+            if not raw.endswith(b"\n"):
+                raise ValueError("no trailing newline")
+            record = record_from_dict(json.loads(raw.decode("utf-8")))
+        except (ValueError, PersistenceError, UnicodeDecodeError) as exc:
+            if last:
+                break  # interrupted tail: salvage everything before it
+            raise PersistenceError(
+                f"{records_path}:{line_no}: corrupt record ({exc})"
+            ) from None
+        records.append(record)
+        valid_bytes += len(raw)
+    return ScanResult(
+        records=records, manifest=manifest, jsonl_bytes=valid_bytes
+    )
+
+
 class RecordWriter:
     """Stream trial records into a persisted sweep directory.
 
@@ -138,19 +225,60 @@ class RecordWriter:
     manager closes the file handles but *withholds* the manifest,
     leaving a directory that :func:`load_sweep_result` rejects instead
     of silently passing off a partial matrix as a complete one.
+
+    ``resume_from`` (a :func:`scan_records` result for the same
+    directory) switches the writer to **append** mode: the JSONL is
+    truncated to the scan's valid region — existing complete records
+    stay byte-identical — and new records append after them; the CSV,
+    derived data with a fixed header, is rebuilt from the prior
+    records before streaming resumes; ``count`` starts at the prior
+    record count and the manifest's ``revision`` and ``wall_seconds``
+    accumulate across sessions.  An aborted *resumed* write withholds
+    the manifest exactly like a fresh one — the directory drops back
+    to partial, and the next resume salvages both generations.
     """
 
-    def __init__(self, out_dir: Union[str, Path], sweep_id: str = "sweep") -> None:
+    def __init__(
+        self,
+        out_dir: Union[str, Path],
+        sweep_id: str = "sweep",
+        resume_from: Optional[ScanResult] = None,
+    ) -> None:
         self.out_dir = Path(out_dir)
         self.out_dir.mkdir(parents=True, exist_ok=True)
+        prior_manifest = resume_from.manifest if resume_from else None
+        if prior_manifest is not None:
+            prior_id = prior_manifest.get("sweep_id")
+            if prior_id != sweep_id:
+                raise PersistenceError(
+                    f"{self.out_dir} holds sweep {prior_id!r}; refusing to "
+                    f"append {sweep_id!r} records to it"
+                )
         # A manifest left by a previous run into this directory would
         # vouch for *this* run's records if we abort — drop it first
         # so "manifest present" always means "this write completed".
         (self.out_dir / MANIFEST_JSON).unlink(missing_ok=True)
         self.sweep_id = sweep_id
-        self.count = 0
-        self._jsonl: Optional[IO[str]] = (self.out_dir / RECORDS_JSONL).open(
-            "w", encoding="utf-8"
+        self.count = len(resume_from.records) if resume_from else 0
+        self._base_wall_seconds = (
+            float(prior_manifest.get("wall_seconds", 0.0))
+            if prior_manifest
+            else 0.0
+        )
+        self.revision = (
+            int((prior_manifest or {}).get("revision", 0)) + 1
+            if resume_from is not None
+            else 0
+        )
+        jsonl_path = self.out_dir / RECORDS_JSONL
+        if resume_from is not None and jsonl_path.exists():
+            # Drop any interrupted trailing fragment so the append
+            # starts on a clean line boundary; bytes before the scan's
+            # valid region are never touched.
+            with jsonl_path.open("r+b") as handle:
+                handle.truncate(resume_from.jsonl_bytes)
+        self._jsonl: Optional[IO[str]] = jsonl_path.open(
+            "a" if resume_from is not None else "w", encoding="utf-8"
         )
         try:
             self._csv_file: Optional[IO[str]] = (
@@ -162,6 +290,9 @@ class RecordWriter:
         self._csv: Optional[csv.DictWriter] = None
         self._csv_pending: List[Dict[str, Any]] = []
         self._closed = False
+        if resume_from is not None:
+            for prior in resume_from.records:
+                self._write_csv(flatten_record(prior), prior.ok)
 
     def write(self, record: TrialRecord) -> None:
         """Append one record to both files (call in spec order)."""
@@ -170,10 +301,13 @@ class RecordWriter:
         assert self._jsonl is not None
         json.dump(record_to_dict(record), self._jsonl, separators=(",", ":"))
         self._jsonl.write("\n")
-        flat = flatten_record(record)
+        self._write_csv(flatten_record(record), record.ok)
+        self.count += 1
+
+    def _write_csv(self, flat: Dict[str, Any], ok: bool) -> None:
         if self._csv is not None:
             self._csv.writerow(flat)
-        elif record.ok:
+        elif ok:
             # First successful record: its columns become the header;
             # flush anything buffered before it, then the record.
             self._start_csv(flat)
@@ -185,7 +319,6 @@ class RecordWriter:
             # error rows only (successes always stream), a deliberate
             # memory cost paid only by runs that fail from the start.
             self._csv_pending.append(flat)
-        self.count += 1
 
     def _start_csv(self, header_row: Dict[str, Any]) -> None:
         assert self._csv_file is not None
@@ -228,8 +361,9 @@ class RecordWriter:
             "schema": SCHEMA_VERSION,
             "sweep_id": self.sweep_id,
             "records": self.count,
-            "wall_seconds": wall_seconds,
+            "wall_seconds": self._base_wall_seconds + wall_seconds,
             "jobs": jobs,
+            "revision": self.revision,
         }
         with (self.out_dir / MANIFEST_JSON).open("w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
@@ -315,9 +449,11 @@ __all__ = [
     "RECORDS_JSONL",
     "RecordWriter",
     "SCHEMA_VERSION",
+    "ScanResult",
     "flatten_record",
     "load_sweep_result",
     "record_from_dict",
     "record_to_dict",
+    "scan_records",
     "write_sweep_result",
 ]

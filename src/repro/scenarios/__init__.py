@@ -35,7 +35,15 @@ process-pool parallelism, and spec-ordered byte-identical aggregation.
 ['htlc', 'htlc', 'weak', 'weak']
 """
 
-from .campaign import GROUP_AXES, aggregate_campaign, load_campaign, run_campaign
+from .campaign import (
+    GROUP_AXES,
+    CampaignDiff,
+    aggregate_campaign,
+    diff_campaign,
+    load_campaign,
+    merge_resumed,
+    run_campaign,
+)
 from .registry import (
     ADVERSARIES,
     PROTOCOLS,
@@ -57,6 +65,7 @@ from .trial import scenario_trial
 
 __all__ = [
     "ADVERSARIES",
+    "CampaignDiff",
     "CampaignSpec",
     "GROUP_AXES",
     "PROTOCOLS",
@@ -71,8 +80,10 @@ __all__ = [
     "build_topology",
     "check_adversary",
     "check_topology",
+    "diff_campaign",
     "load_campaign",
     "make_adversary",
+    "merge_resumed",
     "protocol_defaults",
     "run_campaign",
     "scenario_trial",

@@ -24,13 +24,23 @@ byte-identically without re-running a single trial.
 from __future__ import annotations
 
 import itertools
+import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Any, List, Sequence, Tuple, Union
 
 from ..errors import PersistenceError, ScenarioError
 from ..experiments.harness import ExperimentResult, fraction, mean
 from ..experiments.tables import render_table
-from ..runtime import Executor, SweepResult, load_sweep_result, resolve_executor
+from ..runtime import (
+    Executor,
+    SweepResult,
+    TrialRecord,
+    TrialSpec,
+    load_sweep_result,
+    resolve_executor,
+)
+from ..runtime.spec import SweepSpec
 from .spec import TRIAL_REF, CampaignSpec
 
 #: Options that define aggregation groups, in row order.
@@ -55,9 +65,13 @@ def aggregate_campaign(
     """Reduce campaign records to the (protocol × timing × adversary) table.
 
     A failed trial is fatal by default (:meth:`SweepResult.raise_any`);
-    ``skip_errors=True`` instead aggregates the successful records and
-    notes how many were dropped — the recovery path for a persisted
-    campaign too expensive to re-run (``--from DIR --skip-errors``).
+    ``skip_errors=True`` instead aggregates the successful records —
+    and reports the failures **per cell** in the ``dropped`` column, so
+    a row whose denominators shrank says so itself instead of hiding
+    the loss in a table footnote.  A group whose every trial failed
+    still renders (``runs=0``, stats ``-``) rather than vanishing.
+    This is the recovery path for a persisted campaign too expensive
+    to re-run (``--from DIR --skip-errors``).
     """
     result = ExperimentResult(
         exp_id=sweep.sweep_id.upper(),
@@ -68,9 +82,9 @@ def aggregate_campaign(
             "protocol's definition held, and at what latency/message cost."
         ),
         columns=[
-            "protocol", "timing", "adversary", "runs", "bob_paid",
-            "committed", "aborted", "terminated", "def1_ok", "def2_ok",
-            "mean_latency", "mean_msgs",
+            "protocol", "timing", "adversary", "runs", "dropped",
+            "bob_paid", "committed", "aborted", "terminated", "def1_ok",
+            "def2_ok", "mean_latency", "mean_msgs",
         ],
     )
     if not sweep.records:
@@ -89,23 +103,39 @@ def aggregate_campaign(
         if failed:
             result.note(
                 f"{failed}/{len(sweep)} trials failed and were skipped "
-                "(fractions are shares of the surviving runs)."
+                "(fractions are shares of the surviving runs; per-cell "
+                "losses in the 'dropped' column)."
             )
     else:
         sweep.raise_any()
     for group in itertools.product(
         *(sweep.distinct(axis) for axis in GROUP_AXES)
     ):
-        records = sweep.select(**dict(zip(GROUP_AXES, group)))
-        records = [r for r in records if r.ok]
-        if not records:
+        group_records = sweep.select(**dict(zip(GROUP_AXES, group)))
+        records = [r for r in group_records if r.ok]
+        dropped = len(group_records) - len(records)
+        if not group_records:
             continue
-        protocol, timing, adversary = group
+        protocol, timing, adversary = (
+            "-" if value is None else value for value in group
+        )
+        if not records:
+            # Every trial of the group failed — the row must still
+            # appear (that is where the evidence is missing), with the
+            # statistics marked not-computable rather than zero.
+            result.add_row(
+                protocol=protocol, timing=timing, adversary=adversary,
+                runs=0, dropped=dropped, bob_paid="-", committed="-",
+                aborted="-", terminated="-", def1_ok="-", def2_ok="-",
+                mean_latency="-", mean_msgs="-",
+            )
+            continue
         result.add_row(
             protocol=protocol,
             timing=timing,
             adversary=adversary,
             runs=len(records),
+            dropped=dropped,
             bob_paid=fraction(r["bob_paid"] for r in records),
             committed=fraction(r["committed"] for r in records),
             aborted=fraction(r["aborted"] for r in records),
@@ -162,10 +192,125 @@ def load_campaign(
     return aggregate_campaign(sweep, skip_errors=skip_errors)
 
 
+# -- incremental campaigns (--out DIR --resume) --------------------------
+
+
+@dataclass
+class CampaignDiff:
+    """The requested matrix diffed against already-persisted records.
+
+    ``missing`` is the sub-sweep still to execute (requested specs with
+    no persisted record, in spec order); ``matched`` are the persisted
+    records satisfying requested cells; ``extra`` are persisted records
+    outside the requested matrix (a previous, wider run) — they stay in
+    the directory and in the aggregate, because resume *grows* a matrix
+    and never discards evidence.
+    """
+
+    missing: SweepSpec
+    matched: List[TrialRecord] = field(default_factory=list)
+    extra: List[TrialRecord] = field(default_factory=list)
+
+    @property
+    def reused(self) -> int:
+        return len(self.matched)
+
+
+def _canonical_options(options: Any) -> str:
+    """Options as a canonical JSON string for cross-format equality.
+
+    Persisted options round-trip through JSON (tuples come back as
+    lists), so a freshly compiled spec and its reloaded twin only
+    compare equal after both sides take the same trip.
+    """
+    return json.dumps(dict(options), sort_keys=True)
+
+
+def diff_campaign(
+    sweep: SweepSpec, existing: Sequence[TrialRecord]
+) -> CampaignDiff:
+    """Split a compiled campaign into already-persisted and missing cells.
+
+    Trials are identified by their grid coordinates — the
+    ``derive_seed`` machinery makes a cell's seed a pure function of
+    (master seed, sweep id, coords), so coordinates are a
+    content-address for the trial.  A persisted record whose
+    coordinates match a requested spec but whose seed or options
+    differ was produced by a *different* campaign configuration
+    (another master seed, rho, horizon, or protocol defaults);
+    appending to it would pool incomparable evidence, so that is a
+    :class:`~repro.errors.ScenarioError`, not a silent re-run.
+    """
+    foreign = {r.spec.fn for r in existing} - {TRIAL_REF}
+    if foreign:
+        raise PersistenceError(
+            f"persisted records reference {sorted(foreign)}, not campaign "
+            f"trials ({TRIAL_REF}); --resume only grows campaign directories"
+        )
+    by_coords = {}
+    for record in existing:
+        coords = tuple(record.spec.coords)
+        if coords in by_coords:
+            raise PersistenceError(
+                f"persisted records list trial {coords!r} twice; the "
+                "directory is corrupt"
+            )
+        by_coords[coords] = record
+    missing = SweepSpec(sweep_id=sweep.sweep_id)
+    matched: List[TrialRecord] = []
+    for spec in sweep:
+        prior = by_coords.pop(tuple(spec.coords), None)
+        if prior is None:
+            missing.trials.append(spec)
+            continue
+        if prior.spec.seed != spec.seed:
+            raise ScenarioError(
+                f"persisted trial {spec.coords!r} has seed "
+                f"{prior.spec.seed}, the requested campaign derives "
+                f"{spec.seed} — the directory was built with a different "
+                "master seed; use a fresh --out directory"
+            )
+        if _canonical_options(prior.spec.options) != _canonical_options(
+            spec.options
+        ):
+            raise ScenarioError(
+                f"persisted trial {spec.coords!r} was run with different "
+                "options (rho/horizon/protocol settings) than the "
+                "requested campaign; use a fresh --out directory"
+            )
+        matched.append(prior)
+    return CampaignDiff(
+        missing=missing, matched=matched, extra=list(by_coords.values())
+    )
+
+
+def merge_resumed(
+    existing: Sequence[TrialRecord],
+    new: SweepResult,
+    sweep_id: str,
+    jobs: int = 1,
+) -> SweepResult:
+    """The post-resume view: persisted records first, new ones appended.
+
+    Mirrors the on-disk JSONL (old lines untouched, new lines after
+    them), so aggregating the merged result equals reloading the
+    directory.
+    """
+    return SweepResult(
+        sweep_id=sweep_id,
+        records=list(existing) + list(new.records),
+        wall_seconds=new.wall_seconds,
+        jobs=jobs,
+    )
+
+
 __all__ = [
+    "CampaignDiff",
     "GROUP_AXES",
     "aggregate_campaign",
+    "diff_campaign",
     "load_campaign",
+    "merge_resumed",
     "render_table",
     "run_campaign",
 ]

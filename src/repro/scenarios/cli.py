@@ -7,6 +7,8 @@ Usage::
     python -m repro campaign --topologies linear-1,geom-5 --jobs 4
     python -m repro campaign --trials 20 --jobs 4 --out runs/big
     python -m repro campaign --from runs/big          # reload, no re-run
+    python -m repro campaign --out runs/big --resume \
+        --adversaries none,delayer,bob-edge           # grow the matrix
     python -m repro campaign --list-axes
 
 Axis values are comma-separated registry names (see ``--list-axes``);
@@ -21,6 +23,16 @@ table.
 re-running anything — the table is byte-identical to the original
 run's, so downstream analysis scales to matrix sizes where re-running
 is not an option.
+
+``--out DIR --resume`` makes campaigns *incremental*: the requested
+cell cross-product is diffed against the records already persisted in
+``DIR`` (cells are content-addressed by their grid coordinates — the
+``derive_seed`` machinery makes a cell's seed a pure function of
+them), only the missing cells execute, and their records append to
+the same JSONL with the existing bytes untouched and the manifest's
+``revision`` bumped.  Grow a matrix axis-by-axis across invocations;
+an interrupted run resumes from its last complete record.  Slice the
+result with ``python -m repro analyze DIR``.
 """
 
 from __future__ import annotations
@@ -30,8 +42,20 @@ import time
 from typing import List, Optional
 
 from ..errors import PersistenceError, ScenarioError
-from ..runtime import RecordWriter, TrialError, default_jobs, resolve_executor
-from .campaign import aggregate_campaign, load_campaign, render_table
+from ..runtime import (
+    RecordWriter,
+    TrialError,
+    default_jobs,
+    resolve_executor,
+    scan_records,
+)
+from .campaign import (
+    aggregate_campaign,
+    diff_campaign,
+    load_campaign,
+    merge_resumed,
+    render_table,
+)
 from .registry import available_protocols, axis_descriptions
 from .spec import CampaignSpec
 
@@ -147,6 +171,16 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --out DIR: diff the requested matrix against the "
+            "records already in DIR, run only the missing cells, and "
+            "append them (existing records stay byte-identical; also "
+            "repairs an interrupted --out run)"
+        ),
+    )
+    parser.add_argument(
         "--from",
         dest="from_dir",
         metavar="DIR",
@@ -200,6 +234,7 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 ("--rho", args.rho),
                 ("--jobs", args.jobs),
                 ("--out", args.out),
+                ("--resume", args.resume or None),
             )
             if value is not None
         ]
@@ -242,29 +277,56 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         value = getattr(args, field)
         if value is not None:
             matrix[field] = value
+    if args.resume and not args.out:
+        parser.error("--resume grows a persisted matrix and needs --out DIR")
+
     try:
         campaign = CampaignSpec(**matrix)
         sweep = campaign.compile()
     except ScenarioError as exc:
         parser.error(str(exc))
 
+    # --resume: diff the compiled matrix against what DIR already
+    # holds; only the missing cells run, everything persisted is
+    # reused (and kept byte-identical on disk).
+    scan = None
+    if args.resume:
+        try:
+            scan = scan_records(args.out)
+            diff = diff_campaign(sweep, scan.records)
+        except (PersistenceError, ScenarioError) as exc:
+            parser.error(str(exc))
+        to_run = diff.missing
+    else:
+        to_run = sweep
+
     t0 = time.perf_counter()
     with resolve_executor(jobs=jobs) as executor:
         if args.out:
             try:
-                writer = RecordWriter(args.out, sweep_id=sweep.sweep_id)
+                writer = RecordWriter(
+                    args.out, sweep_id=sweep.sweep_id, resume_from=scan
+                )
             except OSError as exc:
                 parser.error(f"cannot write records to {args.out}: {exc}")
+            except PersistenceError as exc:
+                parser.error(str(exc))
             # Stream records to disk as the executor yields them; the
             # writer holds at most the error rows seen before the
             # first success (see RecordWriter), never the campaign.
             with writer:
-                sweep_result = executor.run(sweep, sink=writer.write)
+                sweep_result = executor.run(to_run, sink=writer.write)
                 writer.close(
                     wall_seconds=sweep_result.wall_seconds, jobs=jobs
                 )
         else:
-            sweep_result = executor.run(sweep)
+            sweep_result = executor.run(to_run)
+    if scan is not None:
+        # Aggregate exactly what the directory now holds: persisted
+        # records first (their on-disk order), new ones appended.
+        sweep_result = merge_resumed(
+            scan.records, sweep_result, sweep.sweep_id, jobs=jobs
+        )
     try:
         result = aggregate_campaign(sweep_result, skip_errors=args.skip_errors)
     except TrialError as exc:
@@ -273,10 +335,16 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         )
     elapsed = time.perf_counter() - t0
     table = render_table(result)
-    footer = (
-        f"({len(sweep)} trials over {len(sweep) // campaign.trials} cells "
-        f"in {elapsed:.1f}s, jobs={jobs})"
-    )
+    if scan is not None:
+        footer = (
+            f"({len(to_run)} new trials run, {len(scan.records)} reused "
+            f"from {args.out}, in {elapsed:.1f}s, jobs={jobs})"
+        )
+    else:
+        footer = (
+            f"({len(sweep)} trials over {len(sweep) // campaign.trials} "
+            f"cells in {elapsed:.1f}s, jobs={jobs})"
+        )
     print(table)
     print(footer)
     if args.out:

@@ -1,4 +1,9 @@
-"""Tests: the trace analytics module."""
+"""Tests: the trace analytics module (now repro.analysis.trace).
+
+Imports go through the package root on purpose: the legacy
+``repro.analysis.<name>`` surface must keep working after the
+package-ification (see repro/analysis/__init__.py).
+"""
 
 from repro.analysis import (
     latency_stats,

@@ -365,6 +365,62 @@ class TestCampaignReaggregation:
         assert "trials of sweep" in err
         assert "--skip-errors" in err  # the recovery path is named
 
+    def test_skip_errors_reports_dropped_counts_per_cell(self, tmp_path):
+        """--from --skip-errors must charge each failed trial to the
+        cell that lost it (the 'dropped' column), not only to a table
+        footnote — a row's shrunken denominator has to be visible in
+        the row itself."""
+        from repro.runtime import SerialExecutor
+
+        result = SerialExecutor().run(
+            CampaignSpec(
+                protocols=["htlc", "weak"], timings=["sync"],
+                topologies=["linear-1"], trials=2,
+            ).compile()
+        )
+        # Fail one htlc trial in place: same spec (so it stays in the
+        # htlc/sync/none cell), values replaced by a captured error.
+        victim = next(
+            i for i, r in enumerate(result.records)
+            if r.spec.options["protocol"] == "htlc"
+        )
+        result.records[victim] = TrialRecord(
+            spec=result.records[victim].spec, error="Traceback ..."
+        )
+        write_sweep_result(result, tmp_path / "out")
+        table = load_campaign(tmp_path / "out", skip_errors=True)
+        (htlc_row,) = [r for r in table.rows if r["protocol"] == "htlc"]
+        (weak_row,) = [r for r in table.rows if r["protocol"] == "weak"]
+        assert htlc_row["runs"] == 1 and htlc_row["dropped"] == 1
+        assert weak_row["runs"] == 2 and weak_row["dropped"] == 0
+        assert any("dropped" in note for note in table.notes)
+
+    def test_skip_errors_keeps_fully_failed_cell_visible(self, tmp_path):
+        """A cell whose every trial failed must still render a row
+        (runs=0, stats '-') instead of silently vanishing from the
+        table."""
+        from repro.runtime import SerialExecutor
+
+        result = SerialExecutor().run(
+            CampaignSpec(
+                protocols=["htlc", "weak"], timings=["sync"],
+                topologies=["linear-1"], trials=2,
+            ).compile()
+        )
+        for i, record in enumerate(result.records):
+            if record.spec.options["protocol"] == "htlc":
+                result.records[i] = TrialRecord(
+                    spec=record.spec, error="boom"
+                )
+        write_sweep_result(result, tmp_path / "out")
+        table = load_campaign(tmp_path / "out", skip_errors=True)
+        (htlc_row,) = [r for r in table.rows if r["protocol"] == "htlc"]
+        assert htlc_row["runs"] == 0 and htlc_row["dropped"] == 2
+        assert htlc_row["bob_paid"] == "-"
+        assert htlc_row["mean_latency"] == "-"
+        (weak_row,) = [r for r in table.rows if r["protocol"] == "weak"]
+        assert weak_row["runs"] == 2 and weak_row["dropped"] == 0
+
     def test_skip_errors_salvages_directory_with_failed_trials(
         self, tmp_path, capsys
     ):

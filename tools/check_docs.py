@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Docs-consistency check: registry axes must appear in the docs.
+"""Docs-consistency check: registries and CLIs must appear in the docs.
 
 The scenario registry (`repro.scenarios.registry`) is the single
 source of truth for campaign axis names; ``--list-axes`` prints it
 directly, but README.md and docs/PAPER_MAP.md carry hand-written axis
-tables that can rot.  This script fails (exit 1) when any registered
-axis name — protocol, timing model, adversary, or topology pattern —
-is missing from either document, naming each gap.
+tables that can rot.  Likewise the analysis subsystem: its metric
+registry (`repro.analysis.query.METRICS`) feeds ``--list-metrics``
+and the ``analyze --help`` epilog, and the ``analyze`` parser's flags
+are the subcommand's real interface — docs/ANALYSIS.md documents
+both, and README.md documents the incremental-campaign flag
+(``--resume``).  This script fails (exit 1) when any registered axis
+name, analysis metric, or ``analyze`` CLI flag is missing from the
+document that promises it, naming each gap.
 
 Run from the repository root (CI does)::
 
@@ -20,30 +25,44 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
-from typing import List
+from typing import Dict, List
 
 ROOT = Path(__file__).resolve().parents[1]
 
 #: Documents that must mention every axis name (backticked).
 DOCUMENTS = ("README.md", "docs/PAPER_MAP.md")
 
+#: The analysis cookbook: must mention every metric and analyze flag.
+ANALYSIS_DOCUMENT = "docs/ANALYSIS.md"
 
-def find_gaps(root: Path = ROOT) -> List[str]:
-    """All (document, axis, name) gaps, as human-readable strings."""
-    sys.path.insert(0, str(root / "src"))
-    try:
-        from repro.scenarios.registry import axis_descriptions
-    finally:
-        sys.path.pop(0)
+#: Documents that must mention every incremental-campaign flag.
+RESUME_FLAGS = ("--resume",)
+RESUME_DOCUMENTS = ("README.md", "docs/ANALYSIS.md")
 
-    problems: List[str] = []
-    texts = {}
-    for rel in DOCUMENTS:
+
+def _read_documents(root: Path, names, problems: List[str]) -> Dict[str, str]:
+    texts: Dict[str, str] = {}
+    for rel in names:
         path = root / rel
         if not path.is_file():
             problems.append(f"{rel}: missing")
             continue
         texts[rel] = path.read_text(encoding="utf-8")
+    return texts
+
+
+def find_gaps(root: Path = ROOT) -> List[str]:
+    """All (document, axis/metric/flag, name) gaps, human-readable."""
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.analysis.cli import cli_flags
+        from repro.analysis.query import METRICS
+        from repro.scenarios.registry import axis_descriptions
+    finally:
+        sys.path.pop(0)
+
+    problems: List[str] = []
+    texts = _read_documents(root, DOCUMENTS, problems)
     for axis, entries in axis_descriptions().items():
         for name, doc in entries.items():
             if not doc:
@@ -56,6 +75,34 @@ def find_gaps(root: Path = ROOT) -> List[str]:
                 # not as prose coincidences ('none', 'weak'...).
                 if f"`{name}`" not in text:
                     problems.append(f"{rel}: {axis} name `{name}` not documented")
+
+    # The analyze subcommand: every metric and every CLI flag must be
+    # documented (backticked) in the analysis cookbook, from the same
+    # registry/parser that --list-metrics and --help render.
+    analysis_texts = _read_documents(root, (ANALYSIS_DOCUMENT,), problems)
+    analysis_text = analysis_texts.get(ANALYSIS_DOCUMENT, "")
+    for name, metric in METRICS.items():
+        if not metric.doc:
+            problems.append(f"metrics: {name!r} has no description")
+        if analysis_text and f"`{name}`" not in analysis_text:
+            problems.append(
+                f"{ANALYSIS_DOCUMENT}: metric `{name}` not documented"
+            )
+    if analysis_text:
+        for flag in cli_flags():
+            # Accept both bare `--flag` and usage-style `--flag VALUE`.
+            if f"`{flag}`" not in analysis_text and f"`{flag} " not in analysis_text:
+                problems.append(
+                    f"{ANALYSIS_DOCUMENT}: analyze flag `{flag}` not documented"
+                )
+
+    # Incremental campaigns: --resume must be documented where users
+    # look for campaign workflows.
+    resume_texts = _read_documents(root, RESUME_DOCUMENTS, [])
+    for rel, text in resume_texts.items():
+        for flag in RESUME_FLAGS:
+            if f"`{flag}`" not in text:
+                problems.append(f"{rel}: campaign flag `{flag}` not documented")
     return problems
 
 
@@ -66,11 +113,16 @@ def main() -> int:
     if problems:
         print(
             f"docs-consistency: {len(problems)} problem(s); update "
-            f"{' / '.join(DOCUMENTS)} to match repro/scenarios/registry.py",
+            f"{' / '.join(DOCUMENTS + (ANALYSIS_DOCUMENT,))} to match "
+            "repro/scenarios/registry.py, repro/analysis/query.py, and "
+            "repro/analysis/cli.py",
             file=sys.stderr,
         )
         return 1
-    print("docs-consistency: all registry axis names documented")
+    print(
+        "docs-consistency: all registry axes, analysis metrics, and "
+        "analyze flags documented"
+    )
     return 0
 
 
