@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..ledger.asset import Amount
 from ..ledger.ledger import Ledger
 from ..sim.trace import TraceKind, TraceRecorder
-from .topology import PaymentTopology
+from .topology import PaymentGraph
 
 #: Per-asset integer deltas, e.g. ``{"X": +3}``; zero entries omitted.
 AssetDelta = Dict[str, int]
@@ -30,19 +30,16 @@ BalanceSnapshot = Dict[str, Dict[str, Dict[str, int]]]
 
 
 def snapshot_balances(
-    ledgers: Dict[str, Ledger], topology: PaymentTopology
+    ledgers: Dict[str, Ledger], topology: PaymentGraph
 ) -> BalanceSnapshot:
     """Capture every customer balance at every escrow."""
     snap: BalanceSnapshot = {}
     assets = sorted({amt.asset for amt in topology.amounts})
-    for i in range(topology.n_escrows):
-        escrow = topology.escrow(i)
+    for edge in topology.edges:
+        escrow = edge.escrow
         ledger = ledgers[escrow]
         snap[escrow] = {}
-        for customer in (
-            topology.upstream_customer(i),
-            topology.downstream_customer(i),
-        ):
+        for customer in (edge.upstream, edge.downstream):
             if not ledger.has_account(customer):
                 continue
             balances = {
@@ -66,7 +63,7 @@ class PaymentOutcome:
 
     payment_id: str
     protocol: str
-    topology: PaymentTopology
+    topology: PaymentGraph
     honest: Dict[str, bool]
     initial_balances: BalanceSnapshot
     final_balances: BalanceSnapshot
@@ -88,7 +85,7 @@ class PaymentOutcome:
         *,
         payment_id: str,
         protocol: str,
-        topology: PaymentTopology,
+        topology: PaymentGraph,
         honest: Dict[str, bool],
         initial_balances: BalanceSnapshot,
         ledgers: Dict[str, Ledger],
@@ -140,21 +137,27 @@ class PaymentOutcome:
                 delta[asset] = diff
         return delta
 
-    def expected_success_delta(self, customer_index: int) -> AssetDelta:
-        """The position change a completed payment gives customer ``c_i``.
+    def expected_success_delta(self, customer) -> AssetDelta:
+        """The position change a completed payment gives a customer.
 
-        Alice pays ``amounts[0]``; Bob gains ``amounts[n-1]``; connector
-        ``c_i`` pays ``amounts[i]`` and gains ``amounts[i-1]`` (her
-        commission being the difference, possibly across assets).
+        She gains each incoming hop's amount and pays each outgoing
+        hop's amount (a connector's commission being the difference,
+        possibly across assets).  On the path this is the historical
+        reading: Alice pays ``amounts[0]``, Bob gains ``amounts[n-1]``,
+        connector ``c_i`` nets ``amounts[i-1] - amounts[i]``.  Accepts
+        a name or a (path-era) customer index.
         """
         topo = self.topology
+        name = topo.customer(customer) if isinstance(customer, int) else customer
         delta: AssetDelta = {}
-        if customer_index >= 1:  # receives from upstream escrow e_{i-1}
-            amt = topo.amount_at(customer_index - 1)
-            delta[amt.asset] = delta.get(amt.asset, 0) + amt.units
-        if customer_index <= topo.n_escrows - 1:  # pays into escrow e_i
-            amt = topo.amount_at(customer_index)
-            delta[amt.asset] = delta.get(amt.asset, 0) - amt.units
+        for edge in topo.in_edges(name):
+            delta[edge.amount.asset] = (
+                delta.get(edge.amount.asset, 0) + edge.amount.units
+            )
+        for edge in topo.out_edges(name):
+            delta[edge.amount.asset] = (
+                delta.get(edge.amount.asset, 0) - edge.amount.units
+            )
         return {a: u for a, u in delta.items() if u != 0}
 
     def refunded(self, customer: str) -> bool:
@@ -163,26 +166,36 @@ class PaymentOutcome:
 
     def in_success_position(self, customer: str) -> bool:
         """Whether the customer holds the completed-payment position."""
-        index = self.topology.customer_index(customer)
-        return self.position_delta(customer) == self.expected_success_delta(index)
+        return self.position_delta(customer) == self.expected_success_delta(
+            customer
+        )
 
     @property
     def bob_paid(self) -> bool:
-        """Did Bob receive his amount?"""
-        return self.in_success_position(self.topology.bob)
+        """Did every recipient (each graph sink) receive their amount?"""
+        return all(
+            self.in_success_position(sink) for sink in self.topology.sinks()
+        )
 
     @property
     def alice_paid_out(self) -> bool:
-        """Did Alice's money leave her account for good?"""
-        return self.in_success_position(self.topology.alice)
+        """Did every source's money leave her accounts for good?"""
+        return all(
+            self.in_success_position(src) for src in self.topology.sources()
+        )
 
     # -- certificates -----------------------------------------------------------------
 
-    def chi_issued(self) -> bool:
-        """Did Bob sign χ at any point?"""
-        bob = self.topology.bob
+    def chi_issued(self, by: Optional[str] = None) -> bool:
+        """Did a recipient sign χ at any point?
+
+        ``by`` restricts the question to one sink; by default any
+        sink's χ counts (on the path: did Bob sign).
+        """
+        issuers = (by,) if by is not None else tuple(self.topology.sinks())
         return any(
-            c["cert"] == "chi" and c["actor"] == bob for c in self.certificates_issued
+            c["cert"] == "chi" and c["actor"] in issuers
+            for c in self.certificates_issued
         )
 
     def decision_kinds_issued(self) -> Set[str]:

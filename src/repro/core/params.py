@@ -41,7 +41,7 @@ local), and the processing before the refund/certificate send::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from ..errors import ParameterError
 
@@ -116,12 +116,23 @@ class TimeoutParams:
         )
 
 
+def h_from_hops(hops_remaining: int, t: TimingAssumptions) -> float:
+    """``H`` for an escrow with ``hops_remaining`` hops below it.
+
+    On the path, escrow ``e_i`` has ``n-1-i`` hops between it and Bob;
+    on a payment DAG the same recurrence applies with the *longest*
+    remaining path to a sink (the slowest certificate to return).
+    """
+    if hops_remaining < 0:
+        raise ParameterError(f"hops_remaining must be >= 0, got {hops_remaining}")
+    return 2 * t.delta + t.epsilon + hops_remaining * (4 * t.delta + 4 * t.epsilon)
+
+
 def h_bound(n_escrows: int, i: int, t: TimingAssumptions) -> float:
     """``H_i`` — see module docstring."""
     if not (0 <= i < n_escrows):
         raise ParameterError(f"escrow index {i} out of range for n={n_escrows}")
-    hops_remaining = n_escrows - 1 - i
-    return 2 * t.delta + t.epsilon + hops_remaining * (4 * t.delta + 4 * t.epsilon)
+    return h_from_hops(n_escrows - 1 - i, t)
 
 
 def compute_params(
@@ -169,4 +180,84 @@ def compute_params(
     )
 
 
-__all__ = ["TimeoutParams", "TimingAssumptions", "compute_params", "h_bound"]
+@dataclass(frozen=True)
+class GraphTimeoutParams:
+    """Per-escrow windows for a payment DAG, keyed by escrow name.
+
+    The same calculus as :class:`TimeoutParams`, driven by each
+    escrow's longest remaining path to a sink instead of its path
+    index; on the Figure-1 path the two agree bit-for-bit.
+    """
+
+    assumptions: TimingAssumptions
+    a: Dict[str, float]  # escrow name -> certificate window
+    d: Dict[str, float]  # escrow name -> guarantee bound
+    depth: int  # longest source-to-sink path, in hops
+    drift_tuned: bool
+    margin: float
+
+    def a_of(self, escrow: str) -> float:
+        return self.a[escrow]
+
+    def d_of(self, escrow: str) -> float:
+        return self.d[escrow]
+
+    def global_termination_bound(self) -> float:
+        """A-priori real-time bound for every honest participant's
+        termination when all escrows abide (see
+        :meth:`TimeoutParams.global_termination_bound`; the path
+        composition with ``n`` replaced by the graph depth and the
+        slowest window taken over all escrows)."""
+        t = self.assumptions
+        slowest_window = max(self.a.values()) / (1.0 - t.rho) if self.a else 0.0
+        step = 2 * t.delta + 2 * t.epsilon
+        return self.depth * step + t.epsilon + slowest_window + (
+            self.depth + 1
+        ) * step
+
+
+def compute_graph_params(
+    graph,
+    assumptions: TimingAssumptions,
+    drift_tuned: bool = True,
+    margin: float = 0.0,
+) -> GraphTimeoutParams:
+    """Windows ``a``/``d`` for every escrow of a payment DAG.
+
+    Each escrow's ``H`` uses its longest remaining path to a sink
+    (:meth:`~repro.core.topology.PaymentGraph.depth_to_sink` of the
+    hop's downstream customer), so every certificate — even the
+    slowest sink's — can return inside the window.  On a path this
+    reproduces :func:`compute_params` exactly.
+    """
+    if margin < 0:
+        raise ParameterError(f"margin must be >= 0, got {margin!r}")
+    t = assumptions
+    inflation = (1.0 + t.rho) if drift_tuned else 1.0
+    a_map: Dict[str, float] = {}
+    d_map: Dict[str, float] = {}
+    for edge in graph.edges:
+        h = h_from_hops(graph.depth_to_sink(edge.downstream), t)
+        a = inflation * h + margin
+        d = a + 2.0 * inflation * t.epsilon + margin
+        a_map[edge.escrow] = a
+        d_map[edge.escrow] = d
+    return GraphTimeoutParams(
+        assumptions=t,
+        a=a_map,
+        d=d_map,
+        depth=graph.depth,
+        drift_tuned=drift_tuned,
+        margin=margin,
+    )
+
+
+__all__ = [
+    "GraphTimeoutParams",
+    "TimeoutParams",
+    "TimingAssumptions",
+    "compute_graph_params",
+    "compute_params",
+    "h_bound",
+    "h_from_hops",
+]

@@ -37,7 +37,7 @@ from ..net.network import Network
 from ..net.timing import TimingModel
 from ..sim.kernel import Simulator
 from .outcomes import BalanceSnapshot, PaymentOutcome, snapshot_balances
-from .topology import PaymentTopology
+from .topology import PaymentGraph
 
 
 @dataclass
@@ -47,7 +47,7 @@ class PaymentEnv:
     sim: Simulator
     network: Network
     keyring: KeyRing
-    topology: PaymentTopology
+    topology: PaymentGraph
     ledgers: Dict[str, Ledger]
     clocks: Dict[str, DriftingClock]
     identities: Dict[str, Identity]
@@ -83,7 +83,8 @@ class PaymentSession:
     Parameters
     ----------
     topology:
-        The path of escrows/customers and per-hop amounts.
+        The payment graph (a :class:`~repro.core.topology.PaymentGraph`;
+        the Figure-1 path is the ``PaymentTopology`` special case).
     protocol:
         Registry name (``"timebounded"``, ``"weak"``, ``"htlc"``,
         ``"certified"``) or a factory ``env -> protocol``.
@@ -114,7 +115,7 @@ class PaymentSession:
 
     def __init__(
         self,
-        topology: PaymentTopology,
+        topology: PaymentGraph,
         protocol: Union[str, ProtocolFactory],
         timing: TimingModel,
         adversary: Optional[Adversary] = None,
@@ -149,12 +150,11 @@ class PaymentSession:
         network = Network(sim, self.timing, self.adversary)
         keyring = KeyRing(domain=self.topology.payment_id)
         ledgers: Dict[str, Ledger] = {}
-        for i in range(self.topology.n_escrows):
-            escrow = self.topology.escrow(i)
-            ledger = Ledger(name=escrow, sim=sim)
-            ledger.open_account(self.topology.upstream_customer(i))
-            ledger.open_account(self.topology.downstream_customer(i))
-            ledgers[escrow] = ledger
+        for edge in self.topology.edges:
+            ledger = Ledger(name=edge.escrow, sim=sim)
+            ledger.open_account(edge.upstream)
+            ledger.open_account(edge.downstream)
+            ledgers[edge.escrow] = ledger
         for escrow, grants in self.topology.funding_plan().items():
             for customer, amt in grants:
                 ledgers[escrow].mint(customer, amt)

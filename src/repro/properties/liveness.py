@@ -16,10 +16,10 @@ from ..core.problem import PropertyId
 from .base import PropertyChecker, Verdict, holds, vacuous, violated
 
 
-def _customer_escrows_honest(outcome: PaymentOutcome, index: int) -> bool:
+def _customer_escrows_honest(outcome: PaymentOutcome, name: str) -> bool:
     topo = outcome.topology
     return all(
-        outcome.is_honest(e) for e in topo.escrows_of_customer(index)
+        outcome.is_honest(e) for e in topo.escrows_of_customer(name)
     )
 
 
@@ -37,7 +37,7 @@ def _customer_acted(outcome: PaymentOutcome, name: str) -> bool:
     return (
         not outcome.refunded(name)
         or outcome.terminated(name)
-        or (name == topo.bob and outcome.chi_issued())
+        or (name in topo.sinks() and outcome.chi_issued(by=name))
     )
 
 
@@ -55,11 +55,10 @@ class EventualTermination(PropertyChecker):
     def check(self, outcome: PaymentOutcome) -> Verdict:
         topo = outcome.topology
         applicable = []
-        for i in range(topo.n_customers):
-            name = topo.customer(i)
+        for name in topo.customers():
             if not outcome.is_honest(name):
                 continue
-            if not _customer_escrows_honest(outcome, i):
+            if not _customer_escrows_honest(outcome, name):
                 continue
             if not _customer_acted(outcome, name):
                 continue
@@ -92,11 +91,10 @@ class TimeBoundedTermination(PropertyChecker):
     def check(self, outcome: PaymentOutcome) -> Verdict:
         topo = outcome.topology
         applicable = []
-        for i in range(topo.n_customers):
-            name = topo.customer(i)
+        for name in topo.customers():
             if not outcome.is_honest(name):
                 continue
-            if not _customer_escrows_honest(outcome, i):
+            if not _customer_escrows_honest(outcome, name):
                 continue
             if _customer_acted(outcome, name):
                 applicable.append(name)
@@ -119,7 +117,8 @@ class TimeBoundedTermination(PropertyChecker):
 
 
 class StrongLiveness(PropertyChecker):
-    """**L (strong)** — if all parties abide, Bob is paid eventually."""
+    """**L (strong)** — if all parties abide, every recipient (each
+    graph sink — Bob on the path) is paid eventually."""
 
     property_id = PropertyId.L_STRONG
 
@@ -127,8 +126,8 @@ class StrongLiveness(PropertyChecker):
         if not all(outcome.honest.values()):
             return vacuous(self.property_id, "some party is Byzantine")
         if outcome.bob_paid:
-            return holds(self.property_id, "Bob paid")
-        return violated(self.property_id, "all abided yet Bob unpaid")
+            return holds(self.property_id, "every recipient paid")
+        return violated(self.property_id, "all abided yet a recipient unpaid")
 
 
 class WeakLiveness(PropertyChecker):
@@ -151,9 +150,9 @@ class WeakLiveness(PropertyChecker):
         if not self.patient:
             return vacuous(self.property_id, "customers were not patient enough")
         if outcome.bob_paid:
-            return holds(self.property_id, "Bob paid")
+            return holds(self.property_id, "every recipient paid")
         return violated(
-            self.property_id, "patient honest run yet Bob unpaid"
+            self.property_id, "patient honest run yet a recipient unpaid"
         )
 
 

@@ -3,6 +3,11 @@
 Every checker mirrors the paper's conditional phrasing: the guarantee is
 demanded only when the stated participants abide by the protocol;
 otherwise the verdict is VACUOUS.
+
+The checkers are graph-aware: "Alice" generalises to every payment
+source, "Bob" to every sink, and a connector's escrows are the escrows
+of its incident hop edges — on the Figure-1 path these reduce to the
+paper's reading exactly.
 """
 
 from __future__ import annotations
@@ -34,8 +39,8 @@ class EscrowSecurity(PropertyChecker):
 
 
 class AliceSecurity(PropertyChecker):
-    """**CS1** — upon termination, honest Alice (with honest escrow) has
-    either her money back or the (commit) certificate.
+    """**CS1** — upon termination, each honest source (with honest
+    escrows) has either her money back or the (commit) certificate.
 
     ``cert_kinds`` selects which certificate satisfies the clause:
     Definition 1 uses χ; Definition 2 uses the commit certificate χc.
@@ -48,25 +53,39 @@ class AliceSecurity(PropertyChecker):
 
     def check(self, outcome: PaymentOutcome) -> Verdict:
         topo = outcome.topology
-        alice = topo.alice
-        if not outcome.is_honest(alice) or not outcome.is_honest(topo.escrow(0)):
-            return vacuous(self.property_id, "Alice or her escrow is Byzantine")
-        if not outcome.terminated(alice):
-            return vacuous(self.property_id, "Alice has not terminated")
-        if outcome.refunded(alice):
-            return holds(self.property_id, "money back")
-        if any(outcome.holds_certificate(alice, kind) for kind in self.cert_kinds):
-            return holds(self.property_id, "holds certificate")
-        return violated(
-            self.property_id,
-            f"Alice lost {outcome.position_delta(alice)} without a certificate",
-        )
+        applicable = 0
+        for alice in topo.sources():
+            if not outcome.is_honest(alice) or not all(
+                outcome.is_honest(e) for e in topo.escrows_of_customer(alice)
+            ):
+                continue
+            if not outcome.terminated(alice):
+                continue
+            applicable += 1
+            if outcome.refunded(alice):
+                continue
+            if any(
+                outcome.holds_certificate(alice, kind)
+                for kind in self.cert_kinds
+            ):
+                continue
+            return violated(
+                self.property_id,
+                f"{alice} lost {outcome.position_delta(alice)} "
+                "without a certificate",
+            )
+        if applicable == 0:
+            return vacuous(
+                self.property_id,
+                "no terminated source with honest escrows",
+            )
+        return holds(self.property_id, f"{applicable} sources secure")
 
 
 class BobSecurity(PropertyChecker):
-    """**CS2** — upon termination, honest Bob (with honest escrow) has
-    either received the money, or — Definition 1 — not issued χ, or —
-    Definition 2 — holds the abort certificate χa."""
+    """**CS2** — upon termination, each honest sink (with honest
+    escrows) has either received the money, or — Definition 1 — not
+    issued χ, or — Definition 2 — holds the abort certificate χa."""
 
     property_id = PropertyId.CS2
 
@@ -75,43 +94,52 @@ class BobSecurity(PropertyChecker):
 
     def check(self, outcome: PaymentOutcome) -> Verdict:
         topo = outcome.topology
-        bob = topo.bob
-        last_escrow = topo.escrow(topo.n_escrows - 1)
-        if not outcome.is_honest(bob) or not outcome.is_honest(last_escrow):
-            return vacuous(self.property_id, "Bob or his escrow is Byzantine")
-        if not outcome.terminated(bob):
-            return vacuous(self.property_id, "Bob has not terminated")
-        if outcome.bob_paid:
-            return holds(self.property_id, "received the money")
-        if self.weak_variant:
-            if outcome.holds_certificate(bob, "abort"):
-                return holds(self.property_id, "holds the abort certificate")
+        applicable = 0
+        for bob in topo.sinks():
+            if not outcome.is_honest(bob) or not all(
+                outcome.is_honest(e) for e in topo.escrows_of_customer(bob)
+            ):
+                continue
+            if not outcome.terminated(bob):
+                continue
+            applicable += 1
+            if outcome.in_success_position(bob):
+                continue
+            if self.weak_variant:
+                if outcome.holds_certificate(bob, "abort"):
+                    continue
+                return violated(
+                    self.property_id,
+                    f"{bob} neither paid nor holding abort certificate",
+                )
+            if not outcome.chi_issued(by=bob):
+                continue
             return violated(
-                self.property_id, "Bob neither paid nor holding abort certificate"
+                self.property_id, f"{bob} issued chi but was not paid"
             )
-        if not outcome.chi_issued():
-            return holds(self.property_id, "did not issue the certificate")
-        return violated(self.property_id, "Bob issued chi but was not paid")
+        if applicable == 0:
+            return vacuous(
+                self.property_id, "no terminated sink with honest escrows"
+            )
+        return holds(self.property_id, f"{applicable} recipients secure")
 
 
 class ConnectorSecurity(PropertyChecker):
-    """**CS3** — upon termination, each honest connector whose *two*
-    escrows abide has got her money back: she holds either her original
-    position (refund) or the completed-payment position (paid upstream,
-    paid out downstream — commission included)."""
+    """**CS3** — upon termination, each honest connector whose incident
+    escrows *all* abide has got her money back: she holds either her
+    original position (refund) or the completed-payment position (paid
+    upstream, paid out downstream — commission included)."""
 
     property_id = PropertyId.CS3
 
     def check(self, outcome: PaymentOutcome) -> Verdict:
         topo = outcome.topology
         applicable = 0
-        for i in range(1, topo.n_escrows):
-            name = topo.customer(i)
+        for name in topo.connectors():
             if not outcome.is_honest(name):
                 continue
-            if not (
-                outcome.is_honest(topo.escrow(i - 1))
-                and outcome.is_honest(topo.escrow(i))
+            if not all(
+                outcome.is_honest(e) for e in topo.escrows_of_customer(name)
             ):
                 continue
             if not outcome.terminated(name):

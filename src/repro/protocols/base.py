@@ -74,6 +74,21 @@ class PaymentProtocol(ABC):
         return process
 
 
+def require_path(topology: Any, protocol_name: str) -> None:
+    """Reject non-path payment graphs for path-only protocols.
+
+    The time-bounded protocol is ported to general payment DAGs; the
+    others still assume the Figure-1 chain, and running them on a
+    fan-out graph would silently mis-wire hops.
+    """
+    if not topology.is_path:
+        raise ProtocolError(
+            f"protocol {protocol_name!r} supports path topologies only; "
+            f"this graph has {len(topology.sources())} source(s) and "
+            f"{topology.leaves} sink(s) — use 'timebounded' for payment DAGs"
+        )
+
+
 _REGISTRY: Dict[str, Type[PaymentProtocol]] = {}
 
 
@@ -118,4 +133,5 @@ __all__ = [
     "available_protocols",
     "create_protocol",
     "register_protocol",
+    "require_path",
 ]

@@ -48,7 +48,7 @@ from ...ledger.ledger import Ledger
 from ...net.message import Envelope, MsgKind
 from ...sim.process import Process
 from ...sim.trace import TraceKind
-from ..base import PaymentProtocol, register_protocol
+from ..base import PaymentProtocol, register_protocol, require_path
 
 
 class HTLCEscrow(Process):
@@ -293,6 +293,7 @@ class HTLCProtocol(PaymentProtocol):
     def build(self) -> None:
         env = self.env
         topo = env.topology
+        require_path(topo, self.name)
         delta = self.option("delta", env.network.timing.known_bound)
         if delta is None:
             raise ProtocolError(

@@ -22,7 +22,7 @@ Customer ``config`` keys::
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from ...crypto.certificates import PaymentCertificate
 from ...crypto.promises import Guarantee, PaymentPromise
@@ -35,6 +35,7 @@ from ...anta.transitions import (
     StateSpec,
 )
 from ...sim.trace import TraceKind
+from .escrow import issuer_accepted
 
 
 # -- guards -----------------------------------------------------------------
@@ -73,15 +74,19 @@ def promise_guard(automaton: Any, envelope: Envelope) -> bool:
 
 
 def chi_guard(automaton: Any, envelope: Envelope) -> bool:
-    """Accept χ iff it verifies as issued by Bob for this payment."""
+    """Accept χ iff it verifies as issued by a recipient of this payment.
+
+    ``expected_issuer`` is Bob's name on the path, or the tuple of
+    reachable sinks on a payment DAG (any of their certificates
+    counts) — see :func:`repro.protocols.timebounded.escrow.issuer_accepted`.
+    """
     cert = envelope.payload
     if not isinstance(cert, PaymentCertificate):
         return False
     if cert.payment_id != automaton.config["payment_id"]:
         return False
-    return cert.valid(
-        automaton.config["keyring"],
-        expected_issuer=automaton.config["expected_issuer"],
+    return issuer_accepted(
+        cert, automaton.config["keyring"], automaton.config["expected_issuer"]
     )
 
 
@@ -359,14 +364,383 @@ def bob_spec(name: str, escrow: str) -> AutomatonSpec:
     return spec
 
 
+# -- fan-out specs (payment DAGs) ---------------------------------------------
+#
+# Customers whose in/out degree exceeds one (a tree's branching Alice,
+# a hub's fanning connector, a multi-edge sink) cannot use the Figure-2
+# role specs above: they must collect a *set* of promises/guarantees,
+# deposit on every outgoing hop, and resolve every hop's outcome.  The
+# specs below implement that with counting states — a receive per
+# neighbour whose target resolver loops until the set is complete —
+# so the state count stays linear in the degree.  Degree-one customers
+# keep the exact Figure-2 specs, which is what makes path behaviour
+# byte-identical to the pre-graph implementation.
+
+
+def fanout_guarantee_guard(automaton: Any, envelope: Envelope) -> bool:
+    """Accept ``G(d)`` from an outgoing hop not yet collected."""
+    guarantee = envelope.payload
+    if not isinstance(guarantee, Guarantee):
+        return False
+    if guarantee.payment_id != automaton.config["payment_id"]:
+        return False
+    if guarantee.customer != automaton.name:
+        return False
+    if envelope.sender in automaton.vars.get("guarantees", {}):
+        return False
+    expected = automaton.config["expected_guarantee_windows"].get(envelope.sender)
+    if expected is not None and guarantee.d < expected - 1e-12:
+        return False
+    return guarantee.valid(automaton.config["keyring"])
+
+
+def fanout_promise_guard(automaton: Any, envelope: Envelope) -> bool:
+    """Accept ``P(a)`` from an incoming hop not yet collected."""
+    promise = envelope.payload
+    if not isinstance(promise, PaymentPromise):
+        return False
+    if promise.payment_id != automaton.config["payment_id"]:
+        return False
+    if promise.customer != automaton.name:
+        return False
+    if envelope.sender in automaton.vars.get("promises", {}):
+        return False
+    expected = automaton.config["expected_promise_windows"].get(envelope.sender)
+    if expected is not None and promise.a < expected - 1e-12:
+        return False
+    return promise.valid(automaton.config["keyring"])
+
+
+def store_fanout_guarantee(automaton: Any, envelope: Envelope) -> None:
+    automaton.vars.setdefault("guarantees", {})[envelope.sender] = envelope.payload
+
+
+def store_fanout_promise(automaton: Any, envelope: Envelope) -> None:
+    automaton.vars.setdefault("promises", {})[envelope.sender] = envelope.payload
+
+
+def _setup_complete(automaton: Any) -> bool:
+    have_g = set(automaton.vars.get("guarantees", {}))
+    have_p = set(automaton.vars.get("promises", {}))
+    return have_g == set(automaton.config["out_escrows"]) and have_p == set(
+        automaton.config["in_escrows"]
+    )
+
+
+def _setup_target(automaton: Any) -> str:
+    if _setup_complete(automaton):
+        return automaton.config.get("setup_done_state", "send_money")
+    return "await_setup"
+
+
+def record_fanout_refund(automaton: Any, envelope: Envelope) -> None:
+    automaton.vars.setdefault("outcomes", {})[envelope.sender] = "refund"
+
+
+def record_fanout_chi(automaton: Any, envelope: Envelope) -> None:
+    """Store a verified χ from one outgoing hop, recording the receipt."""
+    automaton.vars.setdefault("outcomes", {})[envelope.sender] = "chi"
+    automaton.vars.setdefault("chis", {})[envelope.sender] = envelope.payload
+    automaton.sim.trace.record(
+        automaton.sim.now,
+        TraceKind.CERT_RECEIVED,
+        automaton.name,
+        cert="chi",
+        frm=envelope.sender,
+    )
+
+
+def fanout_unresolved_guard(automaton: Any, envelope: Envelope) -> bool:
+    """Only the first outcome (refund or χ) per hop counts."""
+    return envelope.sender not in automaton.vars.get("outcomes", {})
+
+
+def fanout_refund_guard(automaton: Any, envelope: Envelope) -> bool:
+    return money_note_guard("refund")(automaton, envelope) and fanout_unresolved_guard(
+        automaton, envelope
+    )
+
+
+def fanout_chi_outcome_guard(automaton: Any, envelope: Envelope) -> bool:
+    return chi_guard(automaton, envelope) and fanout_unresolved_guard(
+        automaton, envelope
+    )
+
+
+def _outcomes_complete(automaton: Any) -> bool:
+    return set(automaton.vars.get("outcomes", {})) == set(
+        automaton.config["out_escrows"]
+    )
+
+
+def _source_outcomes_target(automaton: Any) -> str:
+    return "done_settled" if _outcomes_complete(automaton) else "await_outcomes"
+
+
+def _connector_outcomes_target(automaton: Any) -> str:
+    if not _outcomes_complete(automaton):
+        return "await_outcomes"
+    outcomes = automaton.vars.get("outcomes", {})
+    if all(result == "chi" for result in outcomes.values()):
+        # Every outgoing hop committed: claim reimbursement upstream.
+        return "forward_chi"
+    # At least one hop refunded.  With sound windows a mixed outcome
+    # cannot happen in honest runs; when it does (adversarial
+    # schedules), terminating without an upstream claim never *gains*
+    # money — CS3 reports the loss rather than the protocol hiding it.
+    return "done_settled"
+
+
+def emit_fanout_money(automaton: Any) -> Tuple[List[SendSpec], str]:
+    """Grey state: deposit on every outgoing hop."""
+    sends = [
+        SendSpec(
+            escrow,
+            MsgKind.MONEY,
+            {"amount": automaton.config["send_amounts"][escrow], "note": "deposit"},
+        )
+        for escrow in automaton.config["out_escrows"]
+    ]
+    return sends, "await_outcomes"
+
+
+def emit_fanout_forward_chi(automaton: Any) -> Tuple[List[SendSpec], str]:
+    """Grey state: pass one collected χ to every incoming hop's escrow.
+
+    Any reachable sink's certificate discharges the upstream hops (see
+    ``issuer_accepted``); the first outgoing hop's χ is forwarded for
+    determinism.
+    """
+    chis = automaton.vars["chis"]
+    cert = chis[
+        next(e for e in automaton.config["out_escrows"] if e in chis)
+    ]
+    sends = [
+        SendSpec(escrow, MsgKind.CERTIFICATE, cert)
+        for escrow in automaton.config["in_escrows"]
+    ]
+    return sends, "await_money_back"
+
+
+def record_fanout_money_back(automaton: Any, envelope: Envelope) -> None:
+    automaton.vars.setdefault("reimbursed", set()).add(envelope.sender)
+
+
+def fanout_money_back_guard(automaton: Any, envelope: Envelope) -> bool:
+    return money_note_guard("payment")(automaton, envelope) and (
+        envelope.sender not in automaton.vars.get("reimbursed", set())
+    )
+
+
+def _money_back_target(automaton: Any) -> str:
+    done = automaton.vars.get("reimbursed", set()) == set(
+        automaton.config["in_escrows"]
+    )
+    return "done_paid" if done else "await_money_back"
+
+
+def emit_fanout_issue_chi(automaton: Any) -> Tuple[List[SendSpec], str]:
+    """Grey state (multi-edge sink): sign χ once, send to every hop."""
+    cert = PaymentCertificate.issue(
+        identity=automaton.config["identity"],
+        payment_id=automaton.config["payment_id"],
+    )
+    automaton.vars["chi"] = cert
+    automaton.sim.trace.record(
+        automaton.sim.now, TraceKind.CERT_ISSUED, automaton.name, cert="chi"
+    )
+    sends = [
+        SendSpec(escrow, MsgKind.CERTIFICATE, cert)
+        for escrow in automaton.config["in_escrows"]
+    ]
+    return sends, "await_money_back"
+
+
+def _fanout_setup_receives(
+    out_escrows: Sequence[str], in_escrows: Sequence[str]
+) -> List[ReceiveSpec]:
+    receives = [
+        ReceiveSpec(
+            frm=escrow,
+            kind=MsgKind.GUARANTEE,
+            guard=fanout_guarantee_guard,
+            action=store_fanout_guarantee,
+            target=_setup_target,
+            label=f"r({escrow}, G(d))",
+        )
+        for escrow in out_escrows
+    ]
+    receives += [
+        ReceiveSpec(
+            frm=escrow,
+            kind=MsgKind.PROMISE,
+            guard=fanout_promise_guard,
+            action=store_fanout_promise,
+            target=_setup_target,
+            label=f"r({escrow}, P(a))",
+        )
+        for escrow in in_escrows
+    ]
+    return receives
+
+
+def _fanout_outcome_receives(
+    out_escrows: Sequence[str], target
+) -> List[ReceiveSpec]:
+    receives = []
+    for escrow in out_escrows:
+        receives.append(
+            ReceiveSpec(
+                frm=escrow,
+                kind=MsgKind.MONEY,
+                guard=fanout_refund_guard,
+                action=record_fanout_refund,
+                target=target,
+                label=f"r({escrow}, $)",
+            )
+        )
+        receives.append(
+            ReceiveSpec(
+                frm=escrow,
+                kind=MsgKind.CERTIFICATE,
+                guard=fanout_chi_outcome_guard,
+                action=record_fanout_chi,
+                target=target,
+                label=f"r({escrow}, chi)",
+            )
+        )
+    return receives
+
+
+def fanout_source_spec(name: str, out_escrows: Sequence[str]) -> AutomatonSpec:
+    """A source paying several hops: {G…} → $… → per-hop (refund | χ)."""
+    spec = AutomatonSpec(name=name, initial="await_setup")
+    spec.add(
+        StateSpec(
+            name="await_setup",
+            kind=StateKind.INPUT,
+            receives=_fanout_setup_receives(out_escrows, ()),
+        )
+    )
+    spec.add(
+        StateSpec(name="send_money", kind=StateKind.OUTPUT, emit=emit_fanout_money)
+    )
+    spec.add(
+        StateSpec(
+            name="await_outcomes",
+            kind=StateKind.INPUT,
+            receives=_fanout_outcome_receives(out_escrows, _source_outcomes_target),
+        )
+    )
+    spec.add(StateSpec(name="done_settled", kind=StateKind.FINAL))
+    return spec
+
+
+def fanout_connector_spec(
+    name: str, in_escrows: Sequence[str], out_escrows: Sequence[str]
+) -> AutomatonSpec:
+    """A branching connector: {G…, P…} → $… → outcomes → (χ↑ → $↑ | done)."""
+    spec = AutomatonSpec(name=name, initial="await_setup")
+    spec.add(
+        StateSpec(
+            name="await_setup",
+            kind=StateKind.INPUT,
+            receives=_fanout_setup_receives(out_escrows, in_escrows),
+        )
+    )
+    spec.add(
+        StateSpec(name="send_money", kind=StateKind.OUTPUT, emit=emit_fanout_money)
+    )
+    spec.add(
+        StateSpec(
+            name="await_outcomes",
+            kind=StateKind.INPUT,
+            receives=_fanout_outcome_receives(
+                out_escrows, _connector_outcomes_target
+            ),
+        )
+    )
+    spec.add(
+        StateSpec(
+            name="forward_chi",
+            kind=StateKind.OUTPUT,
+            emit=emit_fanout_forward_chi,
+        )
+    )
+    spec.add(
+        StateSpec(
+            name="await_money_back",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.MONEY,
+                    guard=fanout_money_back_guard,
+                    action=record_fanout_money_back,
+                    target=_money_back_target,
+                    label=f"r({escrow}, $)",
+                )
+                for escrow in in_escrows
+            ],
+        )
+    )
+    spec.add(StateSpec(name="done_settled", kind=StateKind.FINAL))
+    spec.add(StateSpec(name="done_paid", kind=StateKind.FINAL))
+    return spec
+
+
+def fanout_sink_spec(name: str, in_escrows: Sequence[str]) -> AutomatonSpec:
+    """A recipient fed by several hops: {P…} → sign χ → await every $."""
+    spec = AutomatonSpec(name=name, initial="await_setup")
+    spec.add(
+        StateSpec(
+            name="await_setup",
+            kind=StateKind.INPUT,
+            receives=_fanout_setup_receives((), in_escrows),
+        )
+    )
+    spec.add(
+        StateSpec(
+            name="issue_chi", kind=StateKind.OUTPUT, emit=emit_fanout_issue_chi
+        )
+    )
+    spec.add(
+        StateSpec(
+            name="await_money_back",
+            kind=StateKind.INPUT,
+            receives=[
+                ReceiveSpec(
+                    frm=escrow,
+                    kind=MsgKind.MONEY,
+                    guard=fanout_money_back_guard,
+                    action=record_fanout_money_back,
+                    target=_money_back_target,
+                    label=f"r({escrow}, $)",
+                )
+                for escrow in in_escrows
+            ],
+        )
+    )
+    spec.add(StateSpec(name="done_paid", kind=StateKind.FINAL))
+    return spec
+
+
 __all__ = [
     "alice_spec",
     "bob_spec",
     "chi_guard",
     "chloe_spec",
+    "emit_fanout_forward_chi",
+    "emit_fanout_issue_chi",
+    "emit_fanout_money",
     "emit_forward_chi",
     "emit_issue_chi",
     "emit_money",
+    "fanout_connector_spec",
+    "fanout_guarantee_guard",
+    "fanout_promise_guard",
+    "fanout_sink_spec",
+    "fanout_source_spec",
     "guarantee_guard",
     "money_note_guard",
     "promise_guard",

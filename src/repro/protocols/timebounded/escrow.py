@@ -51,8 +51,22 @@ def money_guard(automaton: Any, envelope: Envelope) -> bool:
     return ledger.account(automaton.config["upstream"]).can_pay(expected)
 
 
+def issuer_accepted(cert: Any, keyring: Any, expected: Any) -> bool:
+    """Validate χ against one expected issuer or a set of them.
+
+    ``expected`` is Bob's name on the path; on a payment DAG it is the
+    tuple of recipients reachable downstream — any of their
+    certificates discharges the hop.
+    """
+    if isinstance(expected, str):
+        return cert.valid(keyring, expected_issuer=expected)
+    return cert.issuer in expected and cert.valid(
+        keyring, expected_issuer=cert.issuer
+    )
+
+
 def certificate_guard(automaton: Any, envelope: Envelope) -> bool:
-    """Accept χ iff it verifies as Bob's and the window is still open.
+    """Accept χ iff it verifies as a recipient's and the window is open.
 
     The promise ``P(a)`` reads "if I receive χ from you at my time v,
     with v < now + a" — a *strict* local-clock window based at the
@@ -63,8 +77,8 @@ def certificate_guard(automaton: Any, envelope: Envelope) -> bool:
         return False
     if cert.payment_id != automaton.config["payment_id"]:
         return False
-    if not cert.valid(
-        automaton.config["keyring"], expected_issuer=automaton.config["expected_issuer"]
+    if not issuer_accepted(
+        cert, automaton.config["keyring"], automaton.config["expected_issuer"]
     ):
         return False
     return automaton.now < automaton.vars["u"] + automaton.config["a_i"]
@@ -229,6 +243,7 @@ __all__ = [
     "emit_promise",
     "emit_refund",
     "escrow_spec",
+    "issuer_accepted",
     "money_guard",
     "store_certificate_action",
 ]

@@ -2,9 +2,19 @@
 
 Creates one :class:`~repro.anta.automaton.TimedAutomaton` per
 participant from the Figure 2 specs, computes the timeout windows
-``a_i`` / ``d_i`` with the drift-tuned calculus (or the naive one, for
+``a`` / ``d`` with the drift-tuned calculus (or the naive one, for
 the E2 ablation), applies Byzantine spec transforms where the session
 asks for them, and registers everything with the network.
+
+The build is **graph-driven**: escrows are created per hop edge and
+customers per graph node, with each node's role read off its in/out
+degree.  Degree-one nodes get the exact Figure 2 role specs (Alice /
+Chloe / Bob), so path topologies behave byte-identically to the
+pre-graph implementation; nodes with fan-in/fan-out (a tree's
+branching Alice, a hub's fanning connector) get the counting fan-out
+specs of :mod:`.customer`.  Windows come from the per-escrow graph
+calculus (:func:`repro.core.params.compute_graph_params`), which on a
+path reproduces :func:`repro.core.params.compute_params` bit-for-bit.
 
 Options (``protocol_options`` of the session)
 ---------------------------------------------
@@ -36,14 +46,23 @@ Options (``protocol_options`` of the session)
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Sequence, Tuple, Union
 
 from ...anta.automaton import TimedAutomaton
+from ...anta.transitions import AutomatonSpec
 from ...byzantine.behaviors import apply_behavior
-from ...core.params import TimingAssumptions, compute_params
+from ...core.params import TimingAssumptions, compute_graph_params, compute_params
+from ...core.topology import HopEdge
 from ...errors import ProtocolError
 from ..base import PaymentProtocol, register_protocol
-from .customer import alice_spec, bob_spec, chloe_spec
+from .customer import (
+    alice_spec,
+    bob_spec,
+    chloe_spec,
+    fanout_connector_spec,
+    fanout_sink_spec,
+    fanout_source_spec,
+)
 from .escrow import escrow_spec
 
 
@@ -71,21 +90,30 @@ class TimeBoundedProtocol(PaymentProtocol):
         self._no_timeout = bool(self.option("no_timeout", False))
 
         assumptions = TimingAssumptions(delta=float(delta), epsilon=epsilon, rho=rho)
-        self.params = compute_params(
-            topo.n_escrows, assumptions, drift_tuned=drift_tuned, margin=margin
+        self.windows = compute_graph_params(
+            topo, assumptions, drift_tuned=drift_tuned, margin=margin
+        )
+        # Path sessions keep the historical TimeoutParams object (same
+        # float values — the graph calculus reduces to it on paths);
+        # graph sessions expose the per-escrow windows instead.  Both
+        # offer global_termination_bound() for the T checks.
+        self.params = (
+            compute_params(
+                topo.n_escrows, assumptions, drift_tuned=drift_tuned, margin=margin
+            )
+            if topo.is_path
+            else self.windows
         )
 
-        for i in range(topo.n_escrows):
-            self._build_escrow(i, processing_bound)
-        self._build_alice(processing_bound)
-        for i in range(1, topo.n_escrows):
-            self._build_chloe(i, processing_bound)
-        self._build_bob(processing_bound)
+        for edge in topo.edges:
+            self._build_escrow(edge, processing_bound)
+        for name in topo.customers():
+            self._build_customer(name, processing_bound)
 
     # -- per-role builders ---------------------------------------------------
 
-    def _make(self, name: str, spec, ctx: Dict[str, Any], config: Dict[str, Any],
-              processing_bound: float) -> TimedAutomaton:
+    def _make(self, name: str, spec: AutomatonSpec, ctx: Dict[str, Any],
+              config: Dict[str, Any], processing_bound: float) -> TimedAutomaton:
         env = self.env
         behavior = env.byzantine_behavior(name)
         if behavior is not None:
@@ -103,27 +131,31 @@ class TimeBoundedProtocol(PaymentProtocol):
         self.add_participant(automaton)
         return automaton
 
-    def _build_escrow(self, i: int, processing_bound: float) -> None:
+    def _expected_issuer(self, customer: str) -> Union[str, Tuple[str, ...]]:
+        """Whose χ discharges hops feeding ``customer``: the reachable
+        sink (Bob's name on the path) or, with fan-out, any of them."""
+        sinks = self.env.topology.reachable_sinks(customer)
+        return sinks[0] if len(sinks) == 1 else sinks
+
+    def _build_escrow(self, edge: HopEdge, processing_bound: float) -> None:
         env = self.env
         topo = env.topology
-        name = topo.escrow(i)
-        upstream = topo.upstream_customer(i)
-        downstream = topo.downstream_customer(i)
+        name = edge.escrow
         config = {
-            "index": i,
-            "upstream": upstream,
-            "downstream": downstream,
-            "a_i": self.params.a_i(i),
-            "d_i": self.params.d_i(i),
-            "amount": topo.amount_at(i),
+            "index": topo.escrow_index(name),
+            "upstream": edge.upstream,
+            "downstream": edge.downstream,
+            "a_i": self.windows.a_of(name),
+            "d_i": self.windows.d_of(name),
+            "amount": edge.amount,
             "ledger": env.ledgers[name],
             "identity": env.identity_of(name),
             "keyring": env.keyring,
             "payment_id": topo.payment_id,
-            "expected_issuer": topo.bob,
+            "expected_issuer": self._expected_issuer(edge.downstream),
         }
         ctx = {"role": "escrow", **config}
-        spec = escrow_spec(name, upstream, downstream)
+        spec = escrow_spec(name, edge.upstream, edge.downstream)
         if self._no_timeout:
             # Protocol *variant* (not a fault): escrows wait forever for
             # χ — the family member Theorem 2 defeats via non-termination.
@@ -131,41 +163,58 @@ class TimeBoundedProtocol(PaymentProtocol):
             state.timeouts.clear()
         self._make(name, spec, ctx, config, processing_bound)
 
-    def _build_alice(self, processing_bound: float) -> None:
+    def _build_customer(self, name: str, processing_bound: float) -> None:
+        topo = self.env.topology
+        ins = topo.in_edges(name)
+        outs = topo.out_edges(name)
+        if not ins and len(outs) == 1:
+            self._build_alice(name, outs[0], processing_bound)
+        elif not ins:
+            self._build_fanout_source(name, outs, processing_bound)
+        elif not outs and len(ins) == 1:
+            self._build_bob(name, ins[0], processing_bound)
+        elif not outs:
+            self._build_fanout_sink(name, ins, processing_bound)
+        elif len(ins) == 1 and len(outs) == 1:
+            self._build_chloe(name, ins[0], outs[0], processing_bound)
+        else:
+            self._build_fanout_connector(name, ins, outs, processing_bound)
+
+    def _build_alice(self, name: str, edge: HopEdge,
+                     processing_bound: float) -> None:
         env = self.env
         topo = env.topology
-        name = topo.alice
-        escrow = topo.escrow(0)
+        escrow = edge.escrow
         config = {
-            "index": 0,
+            "index": topo.customer_index(name),
             "payment_id": topo.payment_id,
             "keyring": env.keyring,
             "identity": env.identity_of(name),
             "downstream_escrow": escrow,
-            "send_amount": topo.amount_at(0),
-            "expected_guarantee_window": self.params.d_i(0),
-            "expected_issuer": topo.bob,
+            "send_amount": edge.amount,
+            "expected_guarantee_window": self.windows.d_of(escrow),
+            "expected_issuer": self._expected_issuer(name),
         }
         ctx = {"role": "alice", "upstream_escrow": escrow, **config}
         self._make(name, alice_spec(name, escrow), ctx, config, processing_bound)
 
-    def _build_chloe(self, i: int, processing_bound: float) -> None:
+    def _build_chloe(self, name: str, in_edge: HopEdge, out_edge: HopEdge,
+                     processing_bound: float) -> None:
         env = self.env
         topo = env.topology
-        name = topo.customer(i)
-        upstream_escrow = topo.escrow(i - 1)
-        downstream_escrow = topo.escrow(i)
+        upstream_escrow = in_edge.escrow
+        downstream_escrow = out_edge.escrow
         config = {
-            "index": i,
+            "index": topo.customer_index(name),
             "payment_id": topo.payment_id,
             "keyring": env.keyring,
             "identity": env.identity_of(name),
             "upstream_escrow": upstream_escrow,
             "downstream_escrow": downstream_escrow,
-            "send_amount": topo.amount_at(i),
-            "expected_guarantee_window": self.params.d_i(i),
-            "expected_promise_window": self.params.a_i(i - 1),
-            "expected_issuer": topo.bob,
+            "send_amount": out_edge.amount,
+            "expected_guarantee_window": self.windows.d_of(downstream_escrow),
+            "expected_promise_window": self.windows.a_of(upstream_escrow),
+            "expected_issuer": self._expected_issuer(name),
         }
         ctx = {"role": "chloe", **config}
         self._make(
@@ -176,22 +225,86 @@ class TimeBoundedProtocol(PaymentProtocol):
             processing_bound,
         )
 
-    def _build_bob(self, processing_bound: float) -> None:
+    def _build_bob(self, name: str, in_edge: HopEdge,
+                   processing_bound: float) -> None:
         env = self.env
         topo = env.topology
-        name = topo.bob
-        escrow = topo.escrow(topo.n_escrows - 1)
+        escrow = in_edge.escrow
         config = {
-            "index": topo.n_escrows,
+            "index": topo.customer_index(name),
             "payment_id": topo.payment_id,
             "keyring": env.keyring,
             "identity": env.identity_of(name),
             "upstream_escrow": escrow,
-            "expected_promise_window": self.params.a_i(topo.n_escrows - 1),
+            "expected_promise_window": self.windows.a_of(escrow),
             "expected_issuer": name,
         }
         ctx = {"role": "bob", **config}
         self._make(name, bob_spec(name, escrow), ctx, config, processing_bound)
+
+    # -- fan-out roles (payment DAGs) ----------------------------------------
+
+    def _fanout_config(self, name: str, ins: Sequence[HopEdge],
+                       outs: Sequence[HopEdge]) -> Dict[str, Any]:
+        env = self.env
+        topo = env.topology
+        return {
+            "index": topo.customer_index(name),
+            "payment_id": topo.payment_id,
+            "keyring": env.keyring,
+            "identity": env.identity_of(name),
+            "in_escrows": tuple(e.escrow for e in ins),
+            "out_escrows": tuple(e.escrow for e in outs),
+            "send_amounts": {e.escrow: e.amount for e in outs},
+            "expected_guarantee_windows": {
+                e.escrow: self.windows.d_of(e.escrow) for e in outs
+            },
+            "expected_promise_windows": {
+                e.escrow: self.windows.a_of(e.escrow) for e in ins
+            },
+            "expected_issuer": self._expected_issuer(name),
+        }
+
+    def _build_fanout_source(self, name: str, outs: Sequence[HopEdge],
+                             processing_bound: float) -> None:
+        config = self._fanout_config(name, (), outs)
+        ctx = {"role": "source", **config}
+        self._make(
+            name,
+            fanout_source_spec(name, config["out_escrows"]),
+            ctx,
+            config,
+            processing_bound,
+        )
+
+    def _build_fanout_connector(self, name: str, ins: Sequence[HopEdge],
+                                outs: Sequence[HopEdge],
+                                processing_bound: float) -> None:
+        config = self._fanout_config(name, ins, outs)
+        ctx = {"role": "connector", **config}
+        self._make(
+            name,
+            fanout_connector_spec(
+                name, config["in_escrows"], config["out_escrows"]
+            ),
+            ctx,
+            config,
+            processing_bound,
+        )
+
+    def _build_fanout_sink(self, name: str, ins: Sequence[HopEdge],
+                           processing_bound: float) -> None:
+        config = self._fanout_config(name, ins, ())
+        config["expected_issuer"] = name
+        config["setup_done_state"] = "issue_chi"
+        ctx = {"role": "sink", **config}
+        self._make(
+            name,
+            fanout_sink_spec(name, config["in_escrows"]),
+            ctx,
+            config,
+            processing_bound,
+        )
 
 
 __all__ = ["TimeBoundedProtocol"]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from ...errors import ProtocolError
-from ..base import PaymentProtocol, register_protocol
+from ..base import PaymentProtocol, register_protocol, require_path
 from .customer import WeakCustomer
 from .escrow import WeakEscrow
 from .tm import TMBackend, make_backend
@@ -38,6 +38,7 @@ class WeakLivenessProtocol(PaymentProtocol):
     def build(self) -> None:
         env = self.env
         topo = env.topology
+        require_path(topo, self.name)
         self.backend: TMBackend = make_backend(self.option("tm", "trusted"))
         self.backend.build(self)
 

@@ -347,11 +347,18 @@ class RecordWriter:
             self._csv_file.close()
             self._csv_file = None
 
-    def close(self, wall_seconds: float = 0.0, jobs: int = 1) -> None:
+    def close(
+        self,
+        wall_seconds: float = 0.0,
+        jobs: int = 1,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Flush both files and write the manifest (idempotent).
 
         Only this method produces ``manifest.json`` — a directory
-        without one is, by construction, an aborted write.
+        without one is, by construction, an aborted write.  ``extra``
+        adds caller metadata (e.g. the campaign CLI's per-cell option
+        overrides) without touching the writer's own keys.
         """
         if self._closed:
             return
@@ -365,6 +372,8 @@ class RecordWriter:
             "jobs": jobs,
             "revision": self.revision,
         }
+        for key, value in (extra or {}).items():
+            manifest.setdefault(key, value)
         with (self.out_dir / MANIFEST_JSON).open("w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2)
             handle.write("\n")

@@ -153,6 +153,20 @@ def aggregate_campaign(
         f"{len(survivors)} runs pooled over topologies {', '.join(topologies)}; "
         "fractions are shares of a group's runs."
     )
+    for option, flag in (("rho", "--rho"), ("horizon", "--horizon")):
+        values = sorted(
+            {r.spec.opt(option) for r in survivors},
+            key=lambda v: (v is None, v),
+        )
+        if len(values) > 1:
+            # A sensitivity axis was swept: say so, or a row mixing
+            # e.g. sound (rho=0) and unsound (rho=0.2) regimes would
+            # read as one mid-valued regime.
+            rendered = ", ".join("default" if v is None else str(v) for v in values)
+            result.note(
+                f"rows also pool {flag} axis values {rendered}; slice "
+                f"with 'repro analyze --group-by {option}'."
+            )
     result.note(
         "def1_ok/def2_ok: share of runs satisfying the protocol's own "
         "definition ('-' = not this protocol's contract)."
@@ -248,8 +262,21 @@ def diff_campaign(
             f"trials ({TRIAL_REF}); --resume only grows campaign directories"
         )
     by_coords = {}
+    arity = len(sweep.trials[0].coords) if sweep.trials else None
     for record in existing:
         coords = tuple(record.spec.coords)
+        if arity is not None and len(coords) != arity:
+            # The rho/horizon axis forms append coordinate components;
+            # a shape mismatch means the directory was built with
+            # different axis settings than this request, and pooling
+            # the two would double-count every cell under two seed
+            # derivations.
+            raise ScenarioError(
+                f"persisted trial {coords!r} has {len(coords)} grid "
+                f"coordinates, the requested campaign derives {arity} — "
+                "the directory was built with different --rho/--horizon "
+                "axis settings; use a fresh --out directory"
+            )
         if coords in by_coords:
             raise PersistenceError(
                 f"persisted records list trial {coords!r} twice; the "

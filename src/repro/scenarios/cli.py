@@ -38,8 +38,9 @@ result with ``python -m repro analyze DIR``.
 from __future__ import annotations
 
 import argparse
+import json
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import PersistenceError, ScenarioError
 from ..runtime import (
@@ -63,6 +64,46 @@ from .spec import CampaignSpec
 def _csv(value: str) -> List[str]:
     """Split a comma-separated axis list, dropping empty entries."""
     return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _csv_floats(value: str) -> List[float]:
+    """A comma-separated list of floats (``0.0,0.1``)."""
+    try:
+        return [float(item) for item in _csv(value)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {value!r}"
+        ) from None
+
+
+def _parse_set(value: str) -> Tuple[str, str, Any]:
+    """Parse one ``--set protocol.option=value`` assignment.
+
+    The value is read as JSON when possible (``30`` → int, ``true`` →
+    bool, ``[1,2]`` → list) and kept as a string otherwise, so option
+    types round-trip through the persisted records unchanged.
+    """
+    assignment, sep, raw = value.partition("=")
+    target, dot, option = assignment.partition(".")
+    if not sep or not dot or not target or not option:
+        raise argparse.ArgumentTypeError(
+            f"expected protocol.option=value, got {value!r}"
+        )
+    try:
+        parsed: Any = json.loads(raw)
+    except json.JSONDecodeError:
+        parsed = raw
+    return target, option, parsed
+
+
+def _collect_overrides(
+    assignments: Optional[List[Tuple[str, str, Any]]]
+) -> Dict[str, Dict[str, Any]]:
+    """Fold repeated ``--set`` flags into {protocol: {option: value}}."""
+    overrides: Dict[str, Dict[str, Any]] = {}
+    for protocol, option, value in assignments or []:
+        overrides.setdefault(protocol, {})[option] = value
+    return overrides
 
 
 def _trial_error_hint(skip_errors: bool, out_dir: Optional[str]) -> str:
@@ -147,8 +188,34 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         "--seed", type=int, default=None, help="master seed (default: 0)"
     )
     parser.add_argument(
-        "--rho", type=float, default=None, metavar="RHO",
-        help="clock-drift bound for every participant (default: 0)",
+        "--rho", type=_csv_floats, default=None, metavar="R1,R2",
+        help=(
+            "clock-drift axis: one or more bounds (e.g. 0.0,0.1); the "
+            "values enter the cell coordinates, so drift sweeps like "
+            "any other axis (default: scalar 0 outside the grid)"
+        ),
+    )
+    parser.add_argument(
+        "--horizon", type=_csv_floats, default=None, metavar="H1,H2",
+        help=(
+            "horizon axis: one or more global-time backstops (e.g. "
+            "50,100); values enter the cell coordinates (default: "
+            "per-protocol campaign defaults)"
+        ),
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        type=_parse_set,
+        action="append",
+        default=None,
+        metavar="PROTO.OPT=VAL",
+        help=(
+            "per-cell protocol-option override, repeatable (e.g. --set "
+            "weak.patience_setup=30); recorded in every affected "
+            "trial's options and in the manifest, so --resume's "
+            "option-mismatch check covers it"
+        ),
     )
     parser.add_argument(
         "--jobs",
@@ -232,6 +299,8 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 ("--trials", args.trials),
                 ("--seed", args.seed),
                 ("--rho", args.rho),
+                ("--horizon", args.horizon),
+                ("--set", args.overrides),
                 ("--jobs", args.jobs),
                 ("--out", args.out),
                 ("--resume", args.resume or None),
@@ -273,10 +342,20 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         "timings": args.timings if args.timings is not None
         else ["sync", "partial", "async"],
     }
-    for field in ("adversaries", "topologies", "trials", "seed", "rho"):
+    for field in ("adversaries", "topologies", "trials", "seed"):
         value = getattr(args, field)
         if value is not None:
             matrix[field] = value
+    # rho/horizon arrive as value lists and become grid axes (their
+    # values join the cell coordinates); omitting the flag keeps the
+    # historical scalar behaviour — and the historical seeds.
+    if args.rho is not None:
+        matrix["rhos"] = args.rho
+    if args.horizon is not None:
+        matrix["horizons"] = args.horizon
+    overrides = _collect_overrides(args.overrides)
+    if overrides:
+        matrix["overrides"] = overrides
     if args.resume and not args.out:
         parser.error("--resume grows a persisted matrix and needs --out DIR")
 
@@ -317,7 +396,11 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             with writer:
                 sweep_result = executor.run(to_run, sink=writer.write)
                 writer.close(
-                    wall_seconds=sweep_result.wall_seconds, jobs=jobs
+                    wall_seconds=sweep_result.wall_seconds,
+                    jobs=jobs,
+                    extra=(
+                        {"option_overrides": overrides} if overrides else None
+                    ),
                 )
         else:
             sweep_result = executor.run(to_run)

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from ..core.topology import PaymentTopology
+from ..core.topology import HopEdge, PaymentGraph, PaymentTopology
 from ..errors import ScenarioError
 from ..ledger.asset import Amount
 from ..net.adversary import (
@@ -124,59 +124,76 @@ def timing_descriptor(name: str) -> Tuple[str, Dict[str, float]]:
 #: Adversary factories take the (already built) payment topology so
 #: targeted attacks can name their victim links; topology-free
 #: adversaries simply ignore the argument.
-AdversaryFactory = Callable[[Optional[PaymentTopology]], Optional[Adversary]]
+AdversaryFactory = Callable[[Optional[PaymentGraph]], Optional[Adversary]]
 
 
-def _make_none(topology: Optional[PaymentTopology] = None) -> Optional[Adversary]:
+def _make_none(topology: Optional[PaymentGraph] = None) -> Optional[Adversary]:
     """Honest network: the timing model's own delays, nothing else."""
     return None
 
 
-def _make_null(topology: Optional[PaymentTopology] = None) -> Adversary:
+def _make_null(topology: Optional[PaymentGraph] = None) -> Adversary:
     """Explicit no-op adversary (distinguishable from 'none' in traces)."""
     return NullAdversary()
 
 
-def _make_delayer(topology: Optional[PaymentTopology] = None) -> Adversary:
+def _make_delayer(topology: Optional[PaymentGraph] = None) -> Adversary:
     """Stretch every message as far as the timing model legally allows."""
     # The maximally slow network that is still legal under the model.
     return PredicateDelayAdversary(lambda envelope: True, delay=HOLD)
 
 
-def _make_cert_holder(topology: Optional[PaymentTopology] = None) -> Adversary:
+def _make_cert_holder(topology: Optional[PaymentGraph] = None) -> Adversary:
     """Hold every certificate (χ) message — the impossibility adversary."""
     return CertificateWithholdingAdversary()
 
 
-def _make_money_delayer(topology: Optional[PaymentTopology] = None) -> Adversary:
+def _make_money_delayer(topology: Optional[PaymentGraph] = None) -> Adversary:
     """Hold every MONEY message as long as legal; other traffic flows."""
     return KindDelayAdversary((MsgKind.MONEY,), delay=HOLD)
 
 
-def _make_decision_holder(topology: Optional[PaymentTopology] = None) -> Adversary:
-    """Hold every DECISION message: starve commit/abort certificates."""
-    return KindDelayAdversary((MsgKind.DECISION,), delay=HOLD)
+def _make_decision_holder(topology: Optional[PaymentGraph] = None) -> Adversary:
+    """Hold DECISION messages bound for the recipients (graph sinks): starve their commit/abort certificates."""
+    if topology is None:
+        # Topology-free fallback: starve everyone's decisions.
+        return KindDelayAdversary((MsgKind.DECISION,), delay=HOLD)
+    sinks = frozenset(topology.sinks())
+    return PredicateDelayAdversary(
+        lambda envelope: (
+            envelope.kind is MsgKind.DECISION and envelope.recipient in sinks
+        ),
+        delay=HOLD,
+    )
 
 
-def _make_alice_edge(topology: Optional[PaymentTopology] = None) -> Adversary:
-    """Hold all traffic on Alice's boundary link c0 ↔ e0."""
-    # Alice and her escrow are named c0/e0 on every path length, so
-    # this boundary attack needs no topology.
-    return EdgeDelayAdversary([("c0", "e0"), ("e0", "c0")], delay=HOLD)
+def _make_alice_edge(topology: Optional[PaymentGraph] = None) -> Adversary:
+    """Hold all traffic on every source's boundary links (c0 ↔ e0 on the path)."""
+    if topology is None:
+        # Topology-free fallback: the path naming, where Alice's only
+        # boundary link is c0 ↔ e0.
+        return EdgeDelayAdversary([("c0", "e0"), ("e0", "c0")], delay=HOLD)
+    links = []
+    for source in topology.sources():
+        for edge in topology.out_edges(source):
+            links.append((source, edge.escrow))
+            links.append((edge.escrow, source))
+    return EdgeDelayAdversary(links, delay=HOLD)
 
 
-def _make_bob_edge(topology: Optional[PaymentTopology] = None) -> Adversary:
-    """Hold all traffic on Bob's boundary link e_{n-1} ↔ c_n (Theorem 2's target)."""
+def _make_bob_edge(topology: Optional[PaymentGraph] = None) -> Adversary:
+    """Hold all traffic on every recipient's boundary link (Theorem 2's target: e_{n-1} ↔ c_n on the path)."""
     if topology is None:
         raise ScenarioError(
-            "adversary 'bob-edge' targets the last hop and needs the "
-            "topology: make_adversary('bob-edge', topology)"
+            "adversary 'bob-edge' targets the recipients' hops and needs "
+            "the topology: make_adversary('bob-edge', topology)"
         )
-    last_escrow = topology.escrow(topology.n_escrows - 1)
-    bob = topology.bob
-    return EdgeDelayAdversary(
-        [(last_escrow, bob), (bob, last_escrow)], delay=HOLD
-    )
+    links = []
+    for sink in topology.sinks():
+        for edge in topology.in_edges(sink):
+            links.append((edge.escrow, sink))
+            links.append((sink, edge.escrow))
+    return EdgeDelayAdversary(links, delay=HOLD)
 
 
 #: name -> factory, called inside the trial process with the topology.
@@ -202,7 +219,7 @@ def check_adversary(name: str) -> str:
 
 
 def make_adversary(
-    name: str, topology: Optional[PaymentTopology] = None
+    name: str, topology: Optional[PaymentGraph] = None
 ) -> Optional[Adversary]:
     """Build the adversary registered under ``name`` (``None`` = honest).
 
@@ -242,11 +259,78 @@ def _topology_geom(n: int, payment_id: str) -> PaymentTopology:
     )
 
 
+#: Depth cap for tree-N: 2^(N+1)-1 customers; beyond this the build
+#: itself (not the O(1) name validation) would exhaust memory.
+MAX_TREE_DEPTH = 16
+
+
+def _topology_tree(n: int, payment_id: str) -> PaymentGraph:
+    """Binary payment tree of depth N: Alice fans out over 2^N recipients, each paid 100; every connector keeps a unit commission."""
+    # Customers are numbered BFS (c0 = Alice at the root, leaves last),
+    # escrows in edge-creation (BFS) order, so names match the c<i>/e<j>
+    # O(1) index parsing.  The amount entering a node covers everything
+    # it must pay out plus its unit commission:  A(leaf) = 100,
+    # A(node) = 2*A(child) + 1.
+    if n > MAX_TREE_DEPTH:
+        raise ScenarioError(
+            f"tree-{n} would have 2^{n + 1}-1 customers; the builder "
+            f"caps depth at {MAX_TREE_DEPTH}"
+        )
+    into = [Amount("X", 100)]  # amount entering a node with d levels below
+    for _ in range(n):
+        into.append(Amount("X", 2 * into[-1].units + 1))
+    edges = []
+    escrow = 0
+    for parent in range(2 ** n - 1):  # internal nodes, BFS numbering
+        # A complete tree: node i's children are 2i+1 and 2i+2.
+        child_depth_below = n - _tree_level(parent) - 1
+        for child in (2 * parent + 1, 2 * parent + 2):
+            edges.append(
+                HopEdge(
+                    upstream=f"c{parent}",
+                    escrow=f"e{escrow}",
+                    downstream=f"c{child}",
+                    amount=into[child_depth_below],
+                )
+            )
+            escrow += 1
+    return PaymentGraph(edges=tuple(edges), payment_id=payment_id)
+
+
+def _tree_level(node: int) -> int:
+    """BFS level of ``node`` in a complete binary tree (root = 0)."""
+    return (node + 1).bit_length() - 1
+
+
+def _topology_hub(n: int, payment_id: str) -> PaymentGraph:
+    """Hub-and-spoke (Boros): Alice funds one central escrow whose hub connector fans out over N spokes, paying N recipients 100 each."""
+    edges = [
+        HopEdge(
+            upstream="c0",
+            escrow="e0",
+            downstream="c1",
+            amount=Amount("X", 100 * n + 1),
+        )
+    ]
+    for spoke in range(n):
+        edges.append(
+            HopEdge(
+                upstream="c1",
+                escrow=f"e{spoke + 1}",
+                downstream=f"c{spoke + 2}",
+                amount=Amount("X", 100),
+            )
+        )
+    return PaymentGraph(edges=tuple(edges), payment_id=payment_id)
+
+
 #: kind -> builder(n, payment_id); names resolve as ``kind-N``.
-TOPOLOGY_BUILDERS: Dict[str, Callable[[int, str], PaymentTopology]] = {
+TOPOLOGY_BUILDERS: Dict[str, Callable[[int, str], PaymentGraph]] = {
     "linear": _topology_linear,
     "multiasset": _topology_multiasset,
     "geom": _topology_geom,
+    "tree": _topology_tree,
+    "hub": _topology_hub,
 }
 
 
@@ -269,19 +353,30 @@ def check_topology(name: str) -> Tuple[str, int]:
         raise ScenarioError(
             f"unknown topology kind {kind!r}; available: {available_topologies()}"
         )
+    if kind == "tree" and n > MAX_TREE_DEPTH:
+        # Caught here (O(1)) so the CLI rejects it as a usage error
+        # instead of every trial failing inside the executor.
+        raise ScenarioError(
+            f"tree-{n} would have 2^{n + 1}-1 customers; the builder "
+            f"caps depth at {MAX_TREE_DEPTH}"
+        )
     return kind, n
 
 
-def build_topology(name: str, payment_id: str = "payment") -> PaymentTopology:
+def build_topology(name: str, payment_id: str = "payment") -> PaymentGraph:
     """Build the payment topology named by ``name``.
 
-    Names are ``kind-N`` patterns, resolvable for any path length:
+    Names are ``kind-N`` patterns, resolvable for any size:
 
     * ``linear-N`` — the Figure 1 path with ``N`` escrows, one asset;
     * ``multiasset-N`` — the same path with one asset per hop
       (cross-currency payments);
     * ``geom-N`` — the same path with a geometric fee ladder (each
-      connector's commission compounds ×1.5 instead of adding a unit).
+      connector's commission compounds ×1.5 instead of adding a unit);
+    * ``tree-N`` — a binary payment tree of depth ``N``: Alice at the
+      root pays ``2^N`` recipients;
+    * ``hub-N`` — hub-and-spoke: one central escrow funds a hub
+      connector fanning out over ``N`` spokes to ``N`` recipients.
     """
     kind, n = check_topology(name)
     return TOPOLOGY_BUILDERS[kind](n, payment_id)
@@ -297,21 +392,37 @@ TOPOLOGY_KINDS: Tuple[str, ...] = tuple(
 
 @dataclass(frozen=True)
 class ProtocolDefaults:
-    """Campaign-wide defaults making a protocol runnable everywhere."""
+    """Campaign-wide defaults making a protocol runnable everywhere.
+
+    ``known_options`` names every option the protocol's ``build()``
+    reads — the vocabulary CLI ``--set`` overrides are validated
+    against, so a typo'd option errors up front instead of being
+    silently ignored (yet faithfully persisted) at run time.
+    """
 
     options: Mapping[str, Any] = field(default_factory=dict)
     horizon: float = DEFAULT_HORIZON
     doc: str = ""
+    known_options: Tuple[str, ...] = ()
 
+
+_WEAK_OPTIONS = (
+    "tm", "patience_setup", "patience_decision", "patience_overrides",
+)
 
 PROTOCOLS: Dict[str, ProtocolDefaults] = {
     "timebounded": ProtocolDefaults(
         options={"delta": ASSUMED_DELTA, "epsilon": 0.05},
         doc="Theorem 1 time-bounded protocol (Definition 1, χ receipts)",
+        known_options=(
+            "delta", "epsilon", "rho", "drift_tuned", "margin",
+            "processing_bound", "processing_floor", "no_timeout",
+        ),
     ),
     "htlc": ProtocolDefaults(
         options={"delta": ASSUMED_DELTA},
         doc="hash time-locked contracts (Definition 1, preimage receipts)",
+        known_options=("delta", "epsilon", "step", "give_up_margin"),
     ),
     "weak": ProtocolDefaults(
         options={
@@ -320,10 +431,12 @@ PROTOCOLS: Dict[str, ProtocolDefaults] = {
             "patience_decision": 120.0,
         },
         doc="Theorem 3 weak protocol, trusted TM (Definition 2)",
+        known_options=_WEAK_OPTIONS,
     ),
     "certified": ProtocolDefaults(
         options={"patience_setup": 500.0, "patience_decision": 500.0},
         doc="weak protocol with certified notary committee (Definition 2)",
+        known_options=_WEAK_OPTIONS + ("block_interval", "confirmations"),
     ),
 }
 

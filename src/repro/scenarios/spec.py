@@ -25,6 +25,9 @@ from .registry import (
     timing_descriptor,
 )
 
+#: Axes whose values are registry names, in declared (cross-product) order.
+NAME_AXES = ("protocols", "timings", "adversaries", "topologies")
+
 #: Trial-function reference shared by every campaign cell (module-level
 #: so worker processes can resolve it under any start method).
 TRIAL_REF = "repro.scenarios.trial:scenario_trial"
@@ -112,10 +115,23 @@ class CampaignSpec:
     """A scenario matrix: axis value lists plus per-cell trial count.
 
     The cross-product is taken in declared axis order (protocols ×
-    timings × adversaries × topologies) and each cell contributes
-    ``trials`` Monte-Carlo repetitions; compilation preserves that
-    order, so campaign records — and therefore the aggregate table —
-    are deterministic whatever the executor.
+    timings × adversaries × topologies × rhos × horizons) and each
+    cell contributes ``trials`` Monte-Carlo repetitions; compilation
+    preserves that order, so campaign records — and therefore the
+    aggregate table — are deterministic whatever the executor.
+
+    ``rho``/``horizon`` are the historical scalar knobs: they apply to
+    every cell and leave the grid coordinates (and therefore seeds)
+    exactly as they were.  ``rhos``/``horizons`` turn the same knobs
+    into *axes*: their values enter the cross-product and the cell
+    coordinates, so drift/deadline sensitivity sweeps like any other
+    axis.  A campaign sets the scalar or the axis form, never both.
+
+    ``overrides`` carries per-protocol option overrides (the CLI's
+    ``--set weak.patience_setup=30``): ``{protocol: {option: value}}``,
+    merged over the protocol's campaign defaults for every cell of
+    that protocol.  Overrides land in each trial's persisted options,
+    so ``--resume``'s option-mismatch check covers them.
     """
 
     protocols: Sequence[str]
@@ -127,9 +143,12 @@ class CampaignSpec:
     rho: float = 0.0
     horizon: Optional[float] = None  # None = per-protocol defaults
     campaign_id: str = "campaign"
+    rhos: Optional[Sequence[float]] = None  # axis form of rho
+    horizons: Optional[Sequence[float]] = None  # axis form of horizon
+    overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        for axis in ("protocols", "timings", "adversaries", "topologies"):
+        for axis in NAME_AXES:
             # Normalise in place so one-shot iterables are consumed
             # exactly once, here, instead of compiling to zero trials.
             values = list(getattr(self, axis))
@@ -144,6 +163,51 @@ class CampaignSpec:
                 )
         if self.trials < 1:
             raise ScenarioError(f"trials must be >= 1, got {self.trials}")
+        for axis, scalar, default in (
+            ("rhos", self.rho, 0.0),
+            ("horizons", self.horizon, None),
+        ):
+            values = getattr(self, axis)
+            if values is None:
+                continue
+            if scalar != default:
+                raise ScenarioError(
+                    f"campaign sets both the scalar and the {axis!r} axis; "
+                    "pick one"
+                )
+            values = list(values)
+            setattr(self, axis, values)
+            if not values:
+                raise ScenarioError(f"campaign axis {axis!r} is empty")
+            if len(set(values)) != len(values):
+                raise ScenarioError(
+                    f"campaign axis {axis!r} has duplicate values: {values}"
+                )
+        self.overrides = {
+            protocol: dict(options)
+            for protocol, options in dict(self.overrides).items()
+        }
+        for protocol, options in self.overrides.items():
+            if protocol not in self.protocols:
+                raise ScenarioError(
+                    f"override targets protocol {protocol!r}, which is not "
+                    f"on the protocols axis {list(self.protocols)}"
+                )
+            known = protocol_defaults(protocol).known_options
+            for option in options:
+                if option not in known:
+                    # A typo'd option would be silently ignored at run
+                    # time while being persisted as if it took effect.
+                    raise ScenarioError(
+                        f"protocol {protocol!r} has no option {option!r}; "
+                        f"known options: {sorted(known)}"
+                    )
+
+    def _rho_values(self) -> Sequence[float]:
+        return self.rhos if self.rhos is not None else (self.rho,)
+
+    def _horizon_values(self) -> Sequence[Optional[float]]:
+        return self.horizons if self.horizons is not None else (self.horizon,)
 
     def __len__(self) -> int:
         """Total trial count across all cells."""
@@ -152,21 +216,31 @@ class CampaignSpec:
             * len(self.timings)
             * len(self.adversaries)
             * len(self.topologies)
+            * len(self._rho_values())
+            * len(self._horizon_values())
             * self.trials
         )
 
     def scenarios(self) -> Iterator[ScenarioSpec]:
         """The matrix cells, validated, in declared axis order."""
-        for protocol, timing, adversary, topology in itertools.product(
-            self.protocols, self.timings, self.adversaries, self.topologies
+        for protocol, timing, adversary, topology, rho, horizon in (
+            itertools.product(
+                self.protocols,
+                self.timings,
+                self.adversaries,
+                self.topologies,
+                self._rho_values(),
+                self._horizon_values(),
+            )
         ):
             yield ScenarioSpec(
                 protocol=protocol,
                 timing=timing,
                 adversary=adversary,
                 topology=topology,
-                rho=self.rho,
-                horizon=self.horizon,
+                rho=rho,
+                horizon=horizon,
+                protocol_options=self.overrides.get(protocol, {}),
             ).validate()
 
     def compile(self) -> SweepSpec:
@@ -174,21 +248,29 @@ class CampaignSpec:
 
         Every (cell, repetition) becomes one
         :class:`~repro.runtime.spec.TrialSpec` with coordinates
-        ``(protocol, timing, adversary, topology, s)`` and a seed
-        derived from them — distinct cells can never share a seed, and
-        a cell's seeds are stable under changes to the *other* axes.
+        ``(protocol, timing, adversary, topology[, rho][, horizon], s)``
+        and a seed derived from them — distinct cells can never share
+        a seed, and a cell's seeds are stable under changes to the
+        *other* axes.  The rho/horizon coordinate components appear
+        only when the corresponding *axis* form is used, so scalar
+        campaigns keep their historical seeds bit-for-bit.
         """
         sweep = SweepSpec(sweep_id=self.campaign_id)
         for scenario in self.scenarios():
             options = scenario.options()
+            coords = scenario.coords()
+            if self.rhos is not None:
+                coords += (scenario.rho,)
+            if self.horizons is not None:
+                coords += (scenario.horizon,)
             for s in range(self.trials):
                 sweep.add(
                     TRIAL_REF,
                     self.seed,
-                    scenario.coords() + (s,),
+                    coords + (s,),
                     **options,
                 )
         return sweep
 
 
-__all__ = ["CampaignSpec", "ScenarioSpec", "TRIAL_REF"]
+__all__ = ["CampaignSpec", "NAME_AXES", "ScenarioSpec", "TRIAL_REF"]

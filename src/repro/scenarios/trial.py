@@ -52,6 +52,12 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
         "latency": outcome.end_time,
         "messages": outcome.messages_sent,
         "events": outcome.events_executed,
+        # Shape columns: recipient count and longest source-to-sink hop
+        # count, so persisted records slice by topology *shape* (a
+        # tree-2 cell reports leaves=4, depth=2; every linear-N cell
+        # reports leaves=1, depth=N).
+        "leaves": topology.leaves,
+        "depth": topology.depth,
     }
     record.update(
         property_columns(

@@ -57,7 +57,7 @@ def find_gaps(root: Path = ROOT) -> List[str]:
     try:
         from repro.analysis.cli import cli_flags
         from repro.analysis.query import METRICS
-        from repro.scenarios.registry import axis_descriptions
+        from repro.scenarios.registry import TOPOLOGY_BUILDERS, axis_descriptions
     finally:
         sys.path.pop(0)
 
@@ -75,6 +75,22 @@ def find_gaps(root: Path = ROOT) -> List[str]:
                 # not as prose coincidences ('none', 'weak'...).
                 if f"`{name}`" not in text:
                     problems.append(f"{rel}: {axis} name `{name}` not documented")
+
+    # Topology patterns, checked straight off the builder registry (not
+    # just via axis_descriptions): every registered kind must resolve
+    # to a documented `kind-N` pattern with a builder docstring, so a
+    # new topology cannot land without README/PAPER_MAP coverage even
+    # if the axis listing is ever restructured.
+    for kind, builder in TOPOLOGY_BUILDERS.items():
+        if not (getattr(builder, "__doc__", "") or "").strip():
+            problems.append(
+                f"registry: topology builder {kind!r} has no docstring"
+            )
+        for rel, text in texts.items():
+            if f"`{kind}-N`" not in text:
+                problems.append(
+                    f"{rel}: topology pattern `{kind}-N` not documented"
+                )
 
     # The analyze subcommand: every metric and every CLI flag must be
     # documented (backticked) in the analysis cookbook, from the same
