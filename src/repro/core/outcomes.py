@@ -34,7 +34,7 @@ def snapshot_balances(
 ) -> BalanceSnapshot:
     """Capture every customer balance at every escrow."""
     snap: BalanceSnapshot = {}
-    assets = sorted({amt.asset for amt in topology.amounts})
+    assets = topology.assets
     for edge in topology.edges:
         escrow = edge.escrow
         ledger = ledgers[escrow]

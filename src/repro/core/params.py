@@ -41,6 +41,7 @@ local), and the processing before the refund/certificate send::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 from ..errors import ParameterError
@@ -135,6 +136,7 @@ def h_bound(n_escrows: int, i: int, t: TimingAssumptions) -> float:
     return h_from_hops(n_escrows - 1 - i, t)
 
 
+@lru_cache(maxsize=256)
 def compute_params(
     n_escrows: int,
     assumptions: TimingAssumptions,
@@ -142,6 +144,11 @@ def compute_params(
     margin: float = 0.0,
 ) -> TimeoutParams:
     """Compute the windows ``a_i`` and ``d_i`` for all escrows.
+
+    Memoized: every argument is hashable and the result is deeply
+    immutable (frozen dataclass over tuples), so protocol builds that
+    repeat the same ``(n, Δ, ε, ρ)`` cell — every campaign trial —
+    share one computation.
 
     Parameters
     ----------
@@ -229,24 +236,45 @@ def compute_graph_params(
     hop's downstream customer), so every certificate — even the
     slowest sink's — can return inside the window.  On a path this
     reproduces :func:`compute_params` exactly.
+
+    Memoized by graph *shape* — the ``(escrow, hops-to-sink)`` table —
+    rather than by the graph object, because campaign trials relabel
+    the same shape under a fresh ``payment_id`` every run.  The cached
+    instance is shared; treat its ``a``/``d`` maps as read-only.
     """
     if margin < 0:
         raise ParameterError(f"margin must be >= 0, got {margin!r}")
+    shape = tuple(
+        (edge.escrow, graph.depth_to_sink(edge.downstream)) for edge in graph.edges
+    )
+    return _graph_params_for_shape(
+        shape, graph.depth, assumptions, drift_tuned, margin
+    )
+
+
+@lru_cache(maxsize=256)
+def _graph_params_for_shape(
+    shape: Tuple[Tuple[str, int], ...],
+    depth: int,
+    assumptions: TimingAssumptions,
+    drift_tuned: bool,
+    margin: float,
+) -> GraphTimeoutParams:
     t = assumptions
     inflation = (1.0 + t.rho) if drift_tuned else 1.0
     a_map: Dict[str, float] = {}
     d_map: Dict[str, float] = {}
-    for edge in graph.edges:
-        h = h_from_hops(graph.depth_to_sink(edge.downstream), t)
+    for escrow, hops in shape:
+        h = h_from_hops(hops, t)
         a = inflation * h + margin
         d = a + 2.0 * inflation * t.epsilon + margin
-        a_map[edge.escrow] = a
-        d_map[edge.escrow] = d
+        a_map[escrow] = a
+        d_map[escrow] = d
     return GraphTimeoutParams(
         assumptions=t,
         a=a_map,
         d=d_map,
-        depth=graph.depth,
+        depth=depth,
         drift_tuned=drift_tuned,
         margin=margin,
     )

@@ -109,6 +109,13 @@ class PaymentSession:
         Extra keyword configuration passed to the protocol via
         ``env.config["options"]`` (timeout calculus, TM choice,
         patience values, ...).
+    trace_kinds:
+        ``None`` records the full trace (the default).  A set of
+        :class:`~repro.sim.trace.TraceKind` opts into reduced-detail
+        recording — only those kinds are kept.  Campaign trials pass
+        :data:`~repro.sim.trace.CHECKER_KINDS` because their record
+        columns consume nothing else; keep the default wherever the
+        trace itself is inspected.
     """
 
     DEFAULT_HORIZON = 1_000_000.0
@@ -126,6 +133,7 @@ class PaymentSession:
         byzantine: Optional[Dict[str, Any]] = None,
         horizon: Optional[float] = None,
         protocol_options: Optional[Dict[str, Any]] = None,
+        trace_kinds: Optional[Any] = None,
     ) -> None:
         self.topology = topology
         self.protocol_ref = protocol
@@ -138,6 +146,7 @@ class PaymentSession:
         self.byzantine = dict(byzantine or {})
         self.horizon = horizon if horizon is not None else self.DEFAULT_HORIZON
         self.protocol_options = dict(protocol_options or {})
+        self.trace_kinds = frozenset(trace_kinds) if trace_kinds is not None else None
         # Populated by run():
         self.env: Optional[PaymentEnv] = None
         self.protocol_instance: Any = None
@@ -146,7 +155,12 @@ class PaymentSession:
     # -- world construction -------------------------------------------------
 
     def _build_env(self) -> PaymentEnv:
-        sim = Simulator(seed=self.seed)
+        if self.trace_kinds is not None:
+            from ..sim.trace import TraceRecorder
+
+            sim = Simulator(seed=self.seed, trace=TraceRecorder(keep=self.trace_kinds))
+        else:
+            sim = Simulator(seed=self.seed)
         network = Network(sim, self.timing, self.adversary)
         keyring = KeyRing(domain=self.topology.payment_id)
         ledgers: Dict[str, Ledger] = {}
@@ -210,9 +224,18 @@ class PaymentSession:
         participants = list(protocol.processes.values())
         if not participants:
             raise ProtocolError(f"protocol {protocol.name!r} built no participants")
-        env.sim.add_stop_condition(
-            lambda sim: all(p.terminated for p in participants)
-        )
+        # Amortized termination check: `Process.terminated` is monotone
+        # (it never flips back), so popping finished participants off a
+        # pending list makes the per-event stop check O(1) amortized
+        # instead of re-scanning every participant after every event.
+        pending = list(participants)
+
+        def all_terminated(sim: Simulator) -> bool:
+            while pending and pending[-1].terminated:
+                pending.pop()
+            return not pending
+
+        env.sim.add_stop_condition(all_terminated)
         env.sim.run(until=self.horizon)
 
         honest = {

@@ -169,6 +169,26 @@ class PaymentGraph:
             payment_id=payment_id,
         )
 
+    def with_payment_id(self, payment_id: str) -> "PaymentGraph":
+        """A relabelled clone sharing this graph's edges and caches.
+
+        Campaign trials build the *same* shape thousands of times under
+        per-trial payment ids; the shape's structural validation and
+        derived relations depend only on the edges, so the clone skips
+        ``__post_init__`` and shares every already-warmed
+        ``cached_property`` value (all derived tables are treated as
+        read-only).  Returns ``self`` when the id already matches.
+        """
+        if payment_id == self.payment_id:
+            return self
+        clone = object.__new__(type(self))
+        # Frozen dataclasses (without __slots__) keep fields and warmed
+        # cached_property values in __dict__; copy it wholesale, then
+        # override the label.
+        clone.__dict__.update(self.__dict__)
+        object.__setattr__(clone, "payment_id", payment_id)
+        return clone
+
     # -- names -----------------------------------------------------------------
 
     @cached_property
@@ -212,10 +232,15 @@ class PaymentGraph:
     def n_customers(self) -> int:
         return len(self._customers)
 
-    @property
+    @cached_property
     def amounts(self) -> Tuple[Amount, ...]:
         """Per-hop amounts in edge order (``amounts[i]`` of the path)."""
         return tuple(edge.amount for edge in self.edges)
+
+    @cached_property
+    def assets(self) -> Tuple[str, ...]:
+        """Sorted unique asset names across all hops."""
+        return tuple(sorted({edge.amount.asset for edge in self.edges}))
 
     def customer(self, i: int) -> str:
         """Name of the ``i``-th customer (0 = Alice on the path)."""

@@ -14,13 +14,20 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List
 
 from ..errors import CryptoError
 
 
+@lru_cache(maxsize=1024)
 def _derive_secret(name: str, domain: str) -> bytes:
-    """Deterministic per-identity secret (simulation only)."""
+    """Deterministic per-identity secret (simulation only).
+
+    Pure in its arguments (no seed involvement), so the derivation is
+    memoized: campaigns re-create the same few identities for every
+    trial.
+    """
     return hashlib.blake2b(
         f"repro-keyring:{domain}:{name}".encode("utf-8"), digest_size=32
     ).digest()

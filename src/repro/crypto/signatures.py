@@ -32,31 +32,70 @@ def canonical_encode(payload: Any) -> bytes:
 
 
 def _encode_into(value: Any, out: bytearray) -> None:
-    if value is None:
+    # Exact-class dispatch first (ordered by observed frequency in
+    # protocol payloads); subclasses — IntEnum values, str subclasses,
+    # ``signing_fields`` objects — fall through to the isinstance chain
+    # in :func:`_encode_other`, which preserves the original dispatch
+    # order and therefore the canonical byte encoding.
+    cls = value.__class__
+    if cls is str:
+        raw = value.encode("utf-8")
+        out += b"S%d:" % len(raw)
+        out += raw
+        out += b";"
+    elif cls is int:
+        out += b"I%d;" % value
+    elif cls is dict:
+        keys = sorted(value, key=str)
+        out += b"D%d:" % len(keys)
+        for key in keys:
+            _encode_into(str(key), out)
+            _encode_into(value[key], out)
+        out += b";"
+    elif cls is list or cls is tuple:
+        out += b"L%d:" % len(value)
+        for item in value:
+            _encode_into(item, out)
+        out += b";"
+    elif cls is float:
+        out += b"F" + value.hex().encode() + b";"
+    elif cls is bool:
+        out += b"B1;" if value else b"B0;"
+    elif value is None:
         out += b"N;"
-    elif isinstance(value, bool):
+    elif cls is bytes:
+        out += b"Y%d:" % len(value)
+        out += value
+        out += b";"
+    else:
+        _encode_other(value, out)
+
+
+def _encode_other(value: Any, out: bytearray) -> None:
+    """Subclass / protocol fallback, in the canonical dispatch order."""
+    if isinstance(value, bool):
         out += b"B1;" if value else b"B0;"
     elif isinstance(value, int):
-        out += f"I{value};".encode()
+        out += b"I%d;" % int(value)
     elif isinstance(value, float):
-        out += f"F{value.hex()};".encode()
+        out += b"F" + float(value).hex().encode() + b";"
     elif isinstance(value, str):
         raw = value.encode("utf-8")
-        out += f"S{len(raw)}:".encode()
+        out += b"S%d:" % len(raw)
         out += raw
         out += b";"
     elif isinstance(value, bytes):
-        out += f"Y{len(value)}:".encode()
+        out += b"Y%d:" % len(value)
         out += value
         out += b";"
     elif isinstance(value, (list, tuple)):
-        out += f"L{len(value)}:".encode()
+        out += b"L%d:" % len(value)
         for item in value:
             _encode_into(item, out)
         out += b";"
     elif isinstance(value, dict):
         keys = sorted(value, key=str)
-        out += f"D{len(keys)}:".encode()
+        out += b"D%d:" % len(keys)
         for key in keys:
             _encode_into(str(key), out)
             _encode_into(value[key], out)

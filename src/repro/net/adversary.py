@@ -34,6 +34,14 @@ class Adversary:
         """Return a proposed delay for ``envelope``, or ``None``."""
         return None
 
+    def reset(self) -> None:
+        """Discard per-run state, making the instance safe to reuse.
+
+        Campaign trial assembly caches adversary instances per cell
+        and resets them between runs; subclasses that accumulate state
+        (attack logs, first-window counters) must clear it here.
+        """
+
     def describe(self) -> str:
         """Human-readable name for experiment tables."""
         return type(self).__name__
@@ -74,6 +82,9 @@ class PredicateDelayAdversary(Adversary):
             self.attacked.append(envelope.msg_id)
             return self.delay
         return None
+
+    def reset(self) -> None:
+        self.attacked.clear()
 
 
 class KindDelayAdversary(PredicateDelayAdversary):
@@ -134,6 +145,9 @@ class CertificateWithholdingAdversary(Adversary):
             return HOLD
         return None
 
+    def reset(self) -> None:
+        self.held.clear()
+
     def describe(self) -> str:
         return "CertificateWithholdingAdversary"
 
@@ -157,6 +171,9 @@ class FirstWindowAdversary(Adversary):
             return self.delay
         return None
 
+    def reset(self) -> None:
+        self._seen = 0
+
     def describe(self) -> str:
         return f"FirstWindowAdversary({self.kind.value}, {self.delay})"
 
@@ -174,6 +191,10 @@ class CompositeAdversary(Adversary):
                 return proposal
         return None
 
+    def reset(self) -> None:
+        for adversary in self.adversaries:
+            adversary.reset()
+
     def describe(self) -> str:
         inner = ", ".join(a.describe() for a in self.adversaries)
         return f"Composite({inner})"
@@ -190,6 +211,10 @@ class RecordingAdversary(Adversary):
         proposal = self.inner.propose_delay(envelope, send_time)
         self.log.append((envelope.msg_id, proposal))
         return proposal
+
+    def reset(self) -> None:
+        self.log.clear()
+        self.inner.reset()
 
     def describe(self) -> str:
         return f"Recording({self.inner.describe()})"

@@ -25,6 +25,13 @@ from .adversary import Adversary, NullAdversary
 from .message import Envelope, MsgKind
 from .timing import TimingModel
 
+# Hoisted constants for the per-message hot path: enum member access
+# goes through a descriptor, and the kernel converts non-``int``
+# priorities on every call.
+_SEND = TraceKind.SEND
+_RECEIVE = TraceKind.RECEIVE
+_DELIVERY = int(EventPriority.DELIVERY)
+
 
 @dataclass
 class NetworkStats:
@@ -112,7 +119,8 @@ class Network:
             )
         if recipient not in self._processes:
             raise NetworkError(f"unknown recipient: {recipient!r}")
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         envelope = Envelope(
             sender=sender.name,
             recipient=recipient,
@@ -122,39 +130,44 @@ class Network:
         )
         proposal = self.adversary.propose_delay(envelope, now)
         deliver_at = self.timing.delivery_time(envelope, now, self._rng, proposal)
-        self.stats.sent += 1
-        self.stats.by_kind[kind.value] = self.stats.by_kind.get(kind.value, 0) + 1
-        self.sim.trace.record(
+        stats = self.stats
+        stats.sent += 1
+        kind_value = kind.value
+        stats.by_kind[kind_value] = stats.by_kind.get(kind_value, 0) + 1
+        sim.trace.record(
             now,
-            TraceKind.SEND,
+            _SEND,
             sender.name,
             to=recipient,
-            msg_kind=kind.value,
+            msg_kind=kind_value,
             msg_id=envelope.msg_id,
             deliver_at=deliver_at,
         )
-        self.sim.schedule_at(
+        sim.schedule_at(
             deliver_at,
             self._deliver,
             envelope,
-            priority=EventPriority.DELIVERY,
+            priority=_DELIVERY,
             label=f"deliver:{envelope.describe()}",
         )
         return envelope
 
     def _deliver(self, envelope: Envelope) -> None:
+        sim = self.sim
         process = self._processes.get(envelope.recipient)
-        now = self.sim.now
-        self.stats.delivered += 1
-        self.stats.total_latency += now - envelope.send_time
-        self.sim.trace.record(
+        now = sim.now
+        latency = now - envelope.send_time
+        stats = self.stats
+        stats.delivered += 1
+        stats.total_latency += latency
+        sim.trace.record(
             now,
-            TraceKind.RECEIVE,
+            _RECEIVE,
             envelope.recipient,
             frm=envelope.sender,
             msg_kind=envelope.kind.value,
             msg_id=envelope.msg_id,
-            latency=now - envelope.send_time,
+            latency=latency,
         )
         if process is not None and not process.terminated:
             process.handle_message(envelope)

@@ -32,6 +32,22 @@ from .spec import SweepSpec, TrialSpec
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
 
+#: Environment variable consulted when no explicit chunksize is given.
+CHUNKSIZE_ENV_VAR = "REPRO_CHUNKSIZE"
+
+
+def default_chunksize() -> Optional[int]:
+    """Chunksize from ``REPRO_CHUNKSIZE`` (invalid/missing mean ``None``).
+
+    ``None`` defers to the per-sweep heuristic — see
+    :meth:`ParallelExecutor.pick_chunksize`.
+    """
+    raw = os.environ.get(CHUNKSIZE_ENV_VAR, "").strip()
+    try:
+        return max(1, int(raw)) if raw else None
+    except ValueError:
+        return None
+
 
 def run_trial(spec: TrialSpec) -> TrialRecord:
     """Execute one trial spec; never raises (errors are captured)."""
@@ -135,9 +151,32 @@ class ParallelExecutor(Executor):
     def __init__(self, jobs: Optional[int] = None, chunksize: Optional[int] = None):
         if jobs is not None and jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if chunksize is not None and chunksize < 1:
+            raise ExperimentError(f"chunksize must be >= 1, got {chunksize}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
-        self.chunksize = chunksize
+        self.chunksize = chunksize if chunksize is not None else default_chunksize()
+        #: Chunksize actually used by the most recent parallel sweep
+        #: (``None`` until one ran); campaign manifests record it.
+        self.last_chunksize: Optional[int] = None
         self._pool: Optional[_Pool] = None
+
+    def pick_chunksize(self, n_specs: int) -> int:
+        """The chunksize for a sweep of ``n_specs`` trials.
+
+        An explicit chunksize (constructor argument, else the
+        ``REPRO_CHUNKSIZE`` environment variable) wins.  Otherwise the
+        heuristic targets **four chunks per worker**:
+        ``max(1, n // (min(jobs, n) * 4))``.  One chunk per worker
+        would minimise pickling overhead but lets a single slow chunk
+        (trials are far from uniform — an async delayer cell runs
+        orders of magnitude longer than a sync honest one) leave the
+        rest of the pool idle at the tail; per-trial chunks pay
+        round-trip pickling on every record.  Four per worker keeps
+        the tail short while amortising the IPC.
+        """
+        if self.chunksize:
+            return self.chunksize
+        return max(1, n_specs // (min(self.jobs, n_specs) * 4))
 
     def imap(self, specs: Sequence[TrialSpec]) -> Iterator[TrialRecord]:
         if self.jobs <= 1 or len(specs) <= 1:
@@ -146,9 +185,8 @@ class ParallelExecutor(Executor):
             return
         if self._pool is None:
             self._pool = _Pool(max_workers=self.jobs)
-        chunksize = self.chunksize or max(
-            1, len(specs) // (min(self.jobs, len(specs)) * 4)
-        )
+        chunksize = self.pick_chunksize(len(specs))
+        self.last_chunksize = chunksize
         # pool.map yields lazily in input order, so a streaming sink
         # sees records as chunks complete, not after the whole sweep.
         yield from self._pool.map(run_trial, specs, chunksize=chunksize)
@@ -172,12 +210,16 @@ class ParallelExecutor(Executor):
 def resolve_executor(
     executor: Union[Executor, int, None] = None,
     jobs: Optional[int] = None,
+    chunksize: Optional[int] = None,
 ) -> Executor:
     """Normalise the common ``executor=`` argument of experiment APIs.
 
     Accepts an :class:`Executor` (returned as-is), an integer job
     count, or ``None`` — in which case ``jobs`` and then the
-    ``REPRO_JOBS`` environment variable decide.
+    ``REPRO_JOBS`` environment variable decide.  ``chunksize`` tunes a
+    :class:`ParallelExecutor` it builds (``None`` = the
+    ``REPRO_CHUNKSIZE`` variable, else the four-chunks-per-worker
+    heuristic); it is ignored for serial runs and pre-built executors.
     """
     if isinstance(executor, Executor):
         return executor
@@ -191,7 +233,9 @@ def resolve_executor(
         jobs = default_jobs()
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    return SerialExecutor() if jobs == 1 else ParallelExecutor(jobs=jobs)
+    if jobs == 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs, chunksize=chunksize)
 
 
 def run_sweep(
@@ -203,10 +247,12 @@ def run_sweep(
 
 
 __all__ = [
+    "CHUNKSIZE_ENV_VAR",
     "Executor",
     "JOBS_ENV_VAR",
     "ParallelExecutor",
     "SerialExecutor",
+    "default_chunksize",
     "default_jobs",
     "resolve_executor",
     "run_sweep",

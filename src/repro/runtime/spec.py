@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from importlib import import_module
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
 
@@ -60,8 +61,16 @@ def trial_ref(fn: Union[str, TrialFn]) -> str:
     return f"{fn.__module__}:{fn.__qualname__}"
 
 
+@lru_cache(maxsize=64)
 def resolve_trial_fn(ref: str) -> TrialFn:
-    """Resolve a ``"module:qualname"`` reference back to the callable."""
+    """Resolve a ``"module:qualname"`` reference back to the callable.
+
+    Memoized per process: a campaign resolves the same reference once
+    per *trial* otherwise, and while ``import_module`` hits the import
+    cache, the attribute walk and validation are pure overhead on the
+    hot path.  References are module-level names, so the resolution is
+    stable for the life of the process.
+    """
     module_name, _, qualname = ref.partition(":")
     if not module_name or not qualname:
         raise ExperimentError(f"malformed trial reference: {ref!r}")

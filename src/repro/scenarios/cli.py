@@ -229,6 +229,18 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--chunksize",
+        type=int,
+        default=None,
+        metavar="C",
+        help=(
+            "trials per worker batch for parallel runs (default: "
+            "$REPRO_CHUNKSIZE, else ~4 batches per worker); the chosen "
+            "value is recorded in the --out manifest; ignored when "
+            "running serially"
+        ),
+    )
+    parser.add_argument(
         "--out",
         metavar="DIR",
         default=None,
@@ -302,6 +314,7 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
                 ("--horizon", args.horizon),
                 ("--set", args.overrides),
                 ("--jobs", args.jobs),
+                ("--chunksize", args.chunksize),
                 ("--out", args.out),
                 ("--resume", args.resume or None),
             )
@@ -333,6 +346,8 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
         parser.error(f"--jobs must be >= 1, got {jobs}")
+    if args.chunksize is not None and args.chunksize < 1:
+        parser.error(f"--chunksize must be >= 1, got {args.chunksize}")
     # Only protocols/timings have CLI-level defaults; every other
     # matrix default lives once, on the CampaignSpec dataclass —
     # omitted flags simply aren't passed.
@@ -380,7 +395,7 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
         to_run = sweep
 
     t0 = time.perf_counter()
-    with resolve_executor(jobs=jobs) as executor:
+    with resolve_executor(jobs=jobs, chunksize=args.chunksize) as executor:
         if args.out:
             try:
                 writer = RecordWriter(
@@ -395,12 +410,19 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             # first success (see RecordWriter), never the campaign.
             with writer:
                 sweep_result = executor.run(to_run, sink=writer.write)
+                extra = {}
+                if overrides:
+                    extra["option_overrides"] = overrides
+                # The chunksize the pool actually used (None for
+                # serial or single-trial runs): part of the run's
+                # provenance, like jobs.
+                chunksize = getattr(executor, "last_chunksize", None)
+                if chunksize is not None:
+                    extra["chunksize"] = chunksize
                 writer.close(
                     wall_seconds=sweep_result.wall_seconds,
                     jobs=jobs,
-                    extra=(
-                        {"option_overrides": overrides} if overrides else None
-                    ),
+                    extra=extra or None,
                 )
         else:
             sweep_result = executor.run(to_run)

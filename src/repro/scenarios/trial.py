@@ -10,33 +10,112 @@ columns the campaign table aggregates, plus the Definition 1/2
 property columns computed by the shared checker
 (:mod:`repro.verification.properties`) — so campaign tables report not
 just *what happened* but *whether the paper's guarantees held*.
+
+Assembly is memoized per worker process: campaigns run the same few
+cells thousands of times, so the topology (validated + derived tables),
+timing model, and adversary are each built once per distinct option set
+and reused.  Topologies are immutable and shared via
+:meth:`~repro.core.topology.PaymentGraph.with_payment_id` relabelling;
+timing models are stateless; adversaries are stateful and therefore
+:meth:`~repro.net.adversary.Adversary.reset` before every run.  None of
+this changes any trial's event sequence or RNG draws — it only skips
+redundant construction work.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from ..runtime.spec import TrialSpec
+
+#: topology name -> validated template graph with warmed derived tables.
+_TOPOLOGY_TEMPLATES: Dict[str, Any] = {}
+
+#: hashable timing descriptor -> built (stateless) timing model.
+_TIMING_MODELS: Dict[Tuple[str, Tuple[Tuple[str, float], ...]], Any] = {}
+
+#: (adversary name, topology name) -> adversary instance (reset per use).
+_ADVERSARIES: Dict[Tuple[str, str], Any] = {}
+
+
+def _topology_for(name: str, payment_id: str) -> Any:
+    """The named topology, relabelled for this trial.
+
+    The template is built (and its Kahn validation + cached derived
+    tables paid for) once per worker; every trial gets a shallow clone
+    sharing the frozen edges and warmed caches under its own
+    ``payment_id``.
+    """
+    template = _TOPOLOGY_TEMPLATES.get(name)
+    if template is None:
+        from .registry import build_topology
+
+        template = build_topology(name, payment_id=name)
+        # Touch the derived tables once so every relabelled clone
+        # inherits them pre-computed.
+        template.leaves, template.depth, template.participants()
+        template.amounts, template.assets
+        _TOPOLOGY_TEMPLATES[name] = template
+    return template.with_payment_id(payment_id)
+
+
+def _timing_for(descriptor: Any) -> Any:
+    """The (stateless) timing model for a primitive descriptor."""
+    kind, params = descriptor
+    key = (kind, tuple(sorted(params.items())))
+    model = _TIMING_MODELS.get(key)
+    if model is None:
+        from ..experiments.harness import build_timing
+
+        model = _TIMING_MODELS[key] = build_timing(descriptor)
+    return model
+
+
+def _adversary_for(name: str, topology: Any, topology_name: str) -> Any:
+    """The named adversary, reset for this trial.
+
+    Keyed by ``(adversary, topology name)`` because targeted adversaries
+    (``bob-edge``) resolve victim links from the graph *shape*, which is
+    a function of the topology name alone — the per-trial ``payment_id``
+    relabelling never changes links.
+    """
+    key = (name, topology_name)
+    if key in _ADVERSARIES:
+        adversary = _ADVERSARIES[key]
+    else:
+        from .registry import make_adversary
+
+        adversary = _ADVERSARIES[key] = make_adversary(name, topology)
+    if adversary is not None:
+        adversary.reset()
+    return adversary
 
 
 def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
     """Run one scenario trial; pure function of its spec."""
     from ..core.session import PaymentSession
-    from ..experiments.harness import build_timing
+    from ..sim.trace import CHECKER_KINDS
     from ..verification.properties import property_columns
-    from .registry import build_topology, make_adversary
 
     payment_id = "-".join(str(c) for c in spec.coords) or "campaign"
-    topology = build_topology(spec.opt("topology"), payment_id=payment_id)
+    topology_name = spec.opt("topology")
+    topology = _topology_for(topology_name, payment_id)
+    # Campaign records consume nothing beyond the checker-relevant trace
+    # kinds, so trials default to reduced-detail recording; pass
+    # ``trace_level="full"`` in the cell options to keep everything.
+    trace_kinds: Optional[Any] = (
+        None if spec.opt("trace_level", None) == "full" else CHECKER_KINDS
+    )
     session = PaymentSession(
         topology,
         spec.opt("protocol"),
-        build_timing(spec.opt("timing")),
-        adversary=make_adversary(spec.opt("adversary"), topology),
+        _timing_for(spec.opt("timing")),
+        adversary=_adversary_for(spec.opt("adversary"), topology, topology_name),
         seed=spec.seed,
         rho=spec.opt("rho", 0.0),
         horizon=spec.opt("horizon"),
         protocol_options=dict(spec.opt("protocol_options") or {}),
+        trace_kinds=trace_kinds,
     )
     outcome = session.run()
     decisions = outcome.decision_kinds_issued()

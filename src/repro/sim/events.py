@@ -13,12 +13,18 @@ the queue discards it lazily when popped.  Firing *also* marks the
 event dead: a fired event is no longer pending, so cancelling it
 afterwards is a no-op rather than a phantom cancellation that corrupts
 the queue's live-event accounting.
+
+``Event`` is a hand-written ``__slots__`` class rather than a
+dataclass: event construction and comparison are the hottest code in
+the repo (every schedule/heap-sift/pop touches them), so instances
+carry no ``__dict__`` and the queue keys its heap entries by
+``(time, priority, seq)`` directly — heap sifts compare native
+floats/ints, never Python-level ``Event`` methods.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Callable, Optional, Tuple
 
@@ -50,9 +56,9 @@ class EventPriority(IntEnum):
 #: simplifies debugging of multi-simulator tests; determinism within one
 #: simulator only depends on the *relative* order of its own events.
 _SEQ = itertools.count()
+_next_seq = _SEQ.__next__
 
 
-@dataclass(eq=False)
 class Event:
     """A scheduled callback.
 
@@ -71,20 +77,43 @@ class Event:
         Free-form debugging label recorded in traces.
     """
 
-    time: float
-    priority: int
-    fn: Callable[..., Any]
-    args: Tuple[Any, ...] = ()
-    label: str = ""
-    seq: int = field(default_factory=lambda: next(_SEQ))
-    cancelled: bool = False
-    fired: bool = False
+    __slots__ = (
+        "time",
+        "priority",
+        "fn",
+        "args",
+        "label",
+        "seq",
+        "cancelled",
+        "fired",
+        "_counted",
+    )
 
-    #: Queue-owned bookkeeping: whether this event is currently counted
-    #: in its queue's live total.  Managed exclusively by
-    #: :class:`~repro.sim.queue.EventQueue`; a class attribute (not a
-    #: field) so it never shows up in construction or comparison.
-    _counted = False
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+        seq: Optional[int] = None,
+        cancelled: bool = False,
+        fired: bool = False,
+    ) -> None:
+        if seq is None:
+            seq = _next_seq()
+        self.time = time
+        self.priority = priority
+        self.fn = fn
+        self.args = args
+        self.label = label
+        self.seq = seq
+        self.cancelled = cancelled
+        self.fired = fired
+        #: Queue-owned bookkeeping: whether this event is currently
+        #: counted in its queue's live total.  Managed exclusively by
+        #: :class:`~repro.sim.queue.EventQueue`.
+        self._counted = False
 
     def sort_key(self) -> Tuple[float, int, int]:
         """Total-order key: time, then priority, then insertion order."""
@@ -110,7 +139,11 @@ class Event:
         return self.fn(*self.args)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = (

@@ -15,14 +15,22 @@ suite reproducible and the bounded explorer sound.
 
 from __future__ import annotations
 
-import math
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, List, Optional
 
 from ..errors import SchedulingError, SimulationError
-from .events import Event, EventPriority
+from .events import Event, EventPriority, _next_seq
 from .queue import EventQueue
 from .rng import RngRegistry
 from .trace import TraceRecorder
+
+#: Default scheduling priority as a plain ``int``: keeping the enum
+#: out of the default argument means the hot path never pays the
+#: ``int(EventPriority.INTERNAL)`` conversion for ordinary events.
+_INTERNAL = int(EventPriority.INTERNAL)
+
+_EVENT_NEW = Event.__new__
+_INF = float("inf")
 
 
 class Simulator:
@@ -36,6 +44,19 @@ class Simulator:
         Optional externally owned recorder; a fresh one is created if
         omitted.
     """
+
+    # Every event execution reads several of these attributes; slots
+    # keep those loads off the instance-dict path.
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_running",
+        "_stopped",
+        "_executed",
+        "rng",
+        "trace",
+        "_stop_conditions",
+    )
 
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
         self._now = 0.0
@@ -71,7 +92,7 @@ class Simulator:
         delay: float,
         fn: Callable[..., Any],
         *args: Any,
-        priority: int = EventPriority.INTERNAL,
+        priority: int = _INTERNAL,
         label: str = "",
     ) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now.
@@ -83,14 +104,38 @@ class Simulator:
         """
         if not (delay >= 0.0):  # also rejects NaN
             raise SchedulingError(f"negative or NaN delay: {delay!r}")
-        return self.schedule_at(self._now + delay, fn, *args, priority=priority, label=label)
+        # Inlined fast path: this is the hottest call in the repo
+        # (every timer/delivery goes through it), so the event is
+        # built field-by-field (skipping the Event.__init__ frame) and
+        # pushed straight into the queue's heap (skipping push_new).
+        # `time >= now` holds by construction, so `time < inf` is the
+        # whole finiteness check (NaN compares false and is rejected).
+        time = self._now + delay
+        if not (time < _INF):
+            raise SchedulingError(f"non-finite event time: {time!r}")
+        if priority.__class__ is not int:
+            priority = int(priority)
+        event = _EVENT_NEW(Event)
+        event.time = time
+        event.priority = priority
+        event.fn = fn
+        event.args = args
+        event.label = label
+        event.seq = seq = _next_seq()
+        event.cancelled = False
+        event.fired = False
+        event._counted = True
+        queue = self._queue
+        _heappush(queue._heap, (time, priority, seq, event))
+        queue._live += 1
+        return event
 
     def schedule_at(
         self,
         time: float,
         fn: Callable[..., Any],
         *args: Any,
-        priority: int = EventPriority.INTERNAL,
+        priority: int = _INTERNAL,
         label: str = "",
     ) -> Event:
         """Schedule ``fn(*args)`` at absolute global ``time``."""
@@ -98,10 +143,26 @@ class Simulator:
             raise SchedulingError(
                 f"cannot schedule in the past: t={time!r} < now={self._now!r}"
             )
-        if not math.isfinite(time):
+        # `time >= now >= 0` holds past the check above (and -inf/NaN
+        # fail it or the one below), so `time < inf` is the whole
+        # finiteness check — same outcome as math.isfinite.
+        if not (time < _INF):
             raise SchedulingError(f"non-finite event time: {time!r}")
-        event = Event(time=time, priority=int(priority), fn=fn, args=args, label=label)
-        self._queue.push(event)
+        if priority.__class__ is not int:
+            priority = int(priority)
+        event = _EVENT_NEW(Event)
+        event.time = time
+        event.priority = priority
+        event.fn = fn
+        event.args = args
+        event.label = label
+        event.seq = seq = _next_seq()
+        event.cancelled = False
+        event.fired = False
+        event._counted = True
+        queue = self._queue
+        _heappush(queue._heap, (time, priority, seq, event))
+        queue._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
@@ -178,25 +239,69 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_before = self._executed
+        # Hot loop: one head access per event, firing inlined (see
+        # Event.fire for the contract), queue internals and the
+        # condition list hoisted out of the loop.  The pop itself is
+        # the body of EventQueue.pop_due, inlined to shed a Python
+        # call per event — the queue's bookkeeping invariants
+        # (`_counted`/`_live`) are maintained identically.  Event
+        # times are always finite, so a missing horizon/event budget
+        # normalises to infinity and each needs just one comparison
+        # per event.
+        queue = self._queue
+        heap = queue._heap
+        conditions = self._stop_conditions
+        horizon = until if until is not None else _INF
+        budget = max_events if max_events is not None else _INF
+        executed = 0
+        # Whether the loop ended because no due event remained (queue
+        # drained or horizon passed) — the only exits on which the
+        # horizon may bind the clock.  stop(), stop conditions, and
+        # the event budget leave the clock at the last executed event.
+        exhausted = False
         try:
-            while not self._stopped:
-                if max_events is not None and self._executed - executed_before >= max_events:
+            while not self._stopped and executed < budget:
+                if not heap:
+                    exhausted = True
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None or (until is not None and next_time > until):
-                    # The horizon binds whenever no event at or before
-                    # `until` remains — including on an empty queue.
-                    if until is not None:
-                        self._now = max(self._now, until)
+                head = heap[0]
+                event = head[3]
+                if event.cancelled or event.fired:
+                    _heappop(heap)  # discard the dead head lazily
+                    if event._counted:
+                        event._counted = False
+                        queue._live -= 1
+                    continue
+                time = head[0]
+                if time > horizon:
+                    exhausted = True
                     break
-                self.step()
-                if self._stop_conditions and any(
-                    cond(self) for cond in self._stop_conditions
-                ):
-                    break
+                _heappop(heap)
+                # A live event in the kernel's own queue is always
+                # counted (schedule/push set the flag; every uncount
+                # also kills the event), so no membership re-check.
+                event._counted = False
+                queue._live -= 1
+                self._now = time
+                executed += 1
+                event.fired = True
+                event.fn(*event.args)
+                if conditions:
+                    stop = False
+                    for condition in conditions:
+                        if condition(self):
+                            stop = True
+                            break
+                    if stop:
+                        break
         finally:
+            self._executed += executed
             self._running = False
-        return self._executed - executed_before
+        if exhausted and until is not None and until > self._now:
+            # The horizon binds whenever no event at or before `until`
+            # remains — including on an empty queue.
+            self._now = until
+        return executed
 
     # -- introspection ----------------------------------------------------
 

@@ -22,6 +22,12 @@ from .events import Event, EventPriority
 from .kernel import Simulator
 from .trace import TraceKind
 
+#: Default timer priority as a plain ``int`` so the kernel's scheduling
+#: fast path never pays an ``int(enum)`` conversion for ordinary timers.
+_TIMER = int(EventPriority.TIMER)
+_TERMINATE = TraceKind.TERMINATE
+_NOTE = TraceKind.NOTE
+
 
 class Process:
     """Base class for simulation actors.
@@ -39,6 +45,10 @@ class Process:
         self.name = name
         self.terminated = False
         self._timers: Dict[str, Event] = {}
+        # Timer labels are pure debug strings; building
+        # f"{name}.timer.{id}" on every (re)arm shows up in campaign
+        # profiles, so each distinct timer id pays for its label once.
+        self._timer_labels: Dict[str, str] = {}
 
     # -- messaging (filled in by the network layer) ---------------------
 
@@ -47,12 +57,18 @@ class Process:
 
     # -- timers ----------------------------------------------------------
 
+    def _timer_label(self, timer_id: str) -> str:
+        label = self._timer_labels.get(timer_id)
+        if label is None:
+            label = self._timer_labels[timer_id] = f"{self.name}.timer.{timer_id}"
+        return label
+
     def set_timer(
         self,
         timer_id: str,
         delay: float,
         *,
-        priority: int = EventPriority.TIMER,
+        priority: int = _TIMER,
     ) -> Event:
         """(Re)arm a named timer ``delay`` global-time units from now.
 
@@ -65,7 +81,7 @@ class Process:
             self._fire_timer,
             timer_id,
             priority=priority,
-            label=f"{self.name}.timer.{timer_id}",
+            label=self._timer_label(timer_id),
         )
         self._timers[timer_id] = event
         return event
@@ -75,7 +91,7 @@ class Process:
         timer_id: str,
         time: float,
         *,
-        priority: int = EventPriority.TIMER,
+        priority: int = _TIMER,
     ) -> Event:
         """(Re)arm a named timer at absolute global ``time``.
 
@@ -89,7 +105,7 @@ class Process:
             self._fire_timer,
             timer_id,
             priority=priority,
-            label=f"{self.name}.timer.{timer_id}",
+            label=self._timer_label(timer_id),
         )
         self._timers[timer_id] = event
         return event
@@ -136,12 +152,12 @@ class Process:
         self.terminated = True
         self.cancel_all_timers()
         self.sim.trace.record(
-            self.sim.now, TraceKind.TERMINATE, self.name, reason=reason
+            self.sim.now, _TERMINATE, self.name, reason=reason
         )
 
     def note(self, text: str, **data: Any) -> None:
         """Record a free-form annotation in the trace."""
-        self.sim.trace.record(self.sim.now, TraceKind.NOTE, self.name, text=text, **data)
+        self.sim.trace.record(self.sim.now, _NOTE, self.name, text=text, **data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "terminated" if self.terminated else "active"

@@ -4,7 +4,16 @@ The queue stores :class:`~repro.sim.events.Event` objects ordered by
 ``(time, priority, seq)``.  Cancellation is O(1) (mark-dead); dead
 events are skipped on pop.  ``peek_time`` lets the kernel look ahead
 without committing to the pop, which the bounded explorer uses to
-enumerate frontier events.
+enumerate frontier events; ``pop_due`` fuses the peek and the pop into
+a single head access for the kernel's run loop.
+
+Heap entries are ``(time, priority, seq, event)`` quadruples rather
+than bare events: every sift comparison during push/pop is a native
+tuple comparison over C-level floats/ints instead of a Python-level
+``__lt__`` call — the hottest comparison site in the repo.  (``seq``
+is unique, so the trailing ``event`` element is never compared.)  One
+flat quadruple also means one tuple allocation per push and direct
+``entry[0]`` access to the head's time.
 
 Live-count accounting is membership-checked: every event carries a
 queue-owned ``_counted`` flag recording whether it is part of this
@@ -12,21 +21,32 @@ queue's live total.  ``note_cancelled`` only decrements for events that
 are actually counted, so cancel-after-pop, cancel-after-clear, and
 double-cancel all leave ``len(queue)`` exact instead of silently
 undercounting.
+
+.. note::
+   The kernel inlines :meth:`EventQueue.push_new` (in
+   ``Simulator.schedule``) and the body of :meth:`EventQueue.pop_due`
+   (in ``Simulator.run``) to shed a Python call per event; the heap
+   entry layout and ``_counted``/``_live`` bookkeeping here and there
+   must stay in lockstep.  ``_heap`` is mutated only in place
+   (``clear()`` included) so the kernel may hoist a reference to it.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Iterator, List, Optional
+from heapq import heappop, heappush
+from typing import Iterator, List, Optional, Tuple
 
 from .events import Event
+
+#: One heap entry: the event's sort key, flattened, then the event.
+_Entry = Tuple[float, int, int, Event]
 
 
 class EventQueue:
     """Min-heap of events with deterministic tie-breaking."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._live = 0
 
     def __len__(self) -> int:
@@ -38,10 +58,25 @@ class EventQueue:
 
     def push(self, event: Event) -> Event:
         """Insert ``event`` and return it (for chaining)."""
-        heapq.heappush(self._heap, event)
-        event._counted = event.alive
-        if event._counted:
+        heappush(self._heap, (event.time, event.priority, event.seq, event))
+        if not event.cancelled and not event.fired:
+            event._counted = True
             self._live += 1
+        else:
+            event._counted = False
+        return event
+
+    def push_new(self, event: Event) -> Event:
+        """Insert a freshly constructed, never-cancelled event.
+
+        The kernel's scheduling fast path: a just-created event is
+        always alive, so the liveness re-check in :meth:`push` is
+        skipped.  Callers that may hand over dead or recycled events
+        must use :meth:`push`.
+        """
+        heappush(self._heap, (event.time, event.priority, event.seq, event))
+        event._counted = True
+        self._live += 1
         return event
 
     def pop(self) -> Event:
@@ -52,18 +87,47 @@ class EventQueue:
         IndexError
             If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.alive:
-                self._uncount(event)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
+            if event._counted:
+                event._counted = False
+                self._live -= 1
+            if not event.cancelled and not event.fired:
                 return event
-            self._uncount(event)  # cancelled behind the queue's back
         raise IndexError("pop from empty EventQueue")
+
+    def pop_due(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the earliest live event due at or before ``until``.
+
+        Returns ``None`` — leaving the event in the heap — when the
+        queue holds no live event or the earliest one is strictly
+        after the horizon.  This is the kernel run loop's single head
+        access per iteration: it replaces the ``peek_time()`` +
+        ``pop()`` pair, which walked the heap twice per event.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0][3]
+            if event.cancelled or event.fired:
+                heappop(heap)  # discard the dead head lazily
+                if event._counted:
+                    event._counted = False
+                    self._live -= 1
+                continue
+            if until is not None and event.time > until:
+                return None
+            heappop(heap)
+            if event._counted:
+                event._counted = False
+                self._live -= 1
+            return event
+        return None
 
     def peek(self) -> Optional[Event]:
         """Return the earliest live event without removing it."""
         self._compact_head()
-        return self._heap[0] if self._heap else None
+        return self._heap[0][3] if self._heap else None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` if empty."""
@@ -82,8 +146,8 @@ class EventQueue:
 
     def clear(self) -> None:
         """Drop all events (cancelled ones included)."""
-        for event in self._heap:
-            event._counted = False
+        for entry in self._heap:
+            entry[3]._counted = False
         self._heap.clear()
         self._live = 0
 
@@ -94,7 +158,7 @@ class EventQueue:
         enumeration; callers needing sorted order should sort by
         :meth:`Event.sort_key`.
         """
-        return (e for e in self._heap if e.alive)
+        return (entry[3] for entry in self._heap if entry[3].alive)
 
     def snapshot_sorted(self) -> List[Event]:
         """All live events sorted by firing order (copy)."""
@@ -102,8 +166,9 @@ class EventQueue:
 
     def _compact_head(self) -> None:
         """Discard cancelled events sitting at the heap root."""
-        while self._heap and not self._heap[0].alive:
-            self._uncount(heapq.heappop(self._heap))
+        heap = self._heap
+        while heap and not heap[0][3].alive:
+            self._uncount(heappop(heap)[3])
 
     def _uncount(self, event: Event) -> None:
         """Remove ``event`` from the live total, exactly once."""

@@ -66,8 +66,15 @@ class RngRegistry:
         return self.stream(name).uniform(lo, hi)
 
     def choice(self, name: str, options: Sequence[T]) -> T:
-        """Draw one element from ``options`` using the named stream."""
-        return self.stream(name).choice(list(options))
+        """Draw one element from ``options`` using the named stream.
+
+        Sequences are indexed directly — ``random.Random.choice`` draws
+        the index from ``len(options)`` either way, so skipping the
+        historical per-draw list copy changes no stream's output.
+        """
+        if not isinstance(options, (list, tuple)):
+            options = list(options)
+        return self.stream(name).choice(options)
 
     def shuffle(self, name: str, items: Iterable[T]) -> List[T]:
         """Return a shuffled copy of ``items`` using the named stream."""

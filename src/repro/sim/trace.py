@@ -7,13 +7,30 @@ checkers (:mod:`repro.properties`) are *trace predicates*: they read the
 finished trace plus the final ledger state and return verdicts.  Keeping
 the trace structured (kind + actor + payload dict) rather than textual
 makes those predicates precise and fast.
+
+The recorder maintains a per-kind index alongside the append-only
+list, so kind-filtered queries (the outcome collector's certificate
+scans, ``termination_time``) touch only the matching events instead of
+scanning the whole trace.  It also supports an opt-in *reduced*
+recording level (``keep=``): campaign trials that only consume the
+outcome's record columns keep just the checker-relevant kinds
+(:data:`CHECKER_KINDS`) and skip constructing everything else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 
 class TraceKind(str, Enum):
@@ -34,6 +51,14 @@ class TraceKind(str, Enum):
     TERMINATE = "terminate"
     FAULT = "fault"
     NOTE = "note"
+
+
+#: The kinds the outcome collector and the Definition 1/2 property
+#: checkers actually consume (see ``PaymentOutcome.collect``): the
+#: minimal safe ``keep=`` set for reduced-detail campaign recording.
+CHECKER_KINDS: FrozenSet[TraceKind] = frozenset(
+    {TraceKind.CERT_ISSUED, TraceKind.CERT_RECEIVED, TraceKind.TERMINATE}
+)
 
 
 @dataclass(frozen=True)
@@ -72,10 +97,24 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only store of :class:`TraceEvent` records."""
+    """Append-only store of :class:`TraceEvent` records.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    keep:
+        ``None`` (the default) records everything.  A set of
+        :class:`TraceKind` switches the recorder to *reduced* mode:
+        only those kinds are stored — every other :meth:`record` call
+        returns ``None`` without constructing an event.  Reduced
+        traces renumber ``seq`` over the kept events; use full
+        recording wherever the trace itself is an artifact (golden
+        fixtures, trace analysis, the explorer).
+    """
+
+    def __init__(self, keep: Optional[FrozenSet[TraceKind]] = None) -> None:
         self._events: List[TraceEvent] = []
+        self._by_kind: Dict[TraceKind, List[TraceEvent]] = {}
+        self._keep = frozenset(keep) if keep is not None else None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -83,14 +122,27 @@ class TraceRecorder:
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
 
+    @property
+    def keep(self) -> Optional[FrozenSet[TraceKind]]:
+        """The reduced-mode kind set, or ``None`` for full recording."""
+        return self._keep
+
     def record(
         self, time: float, kind: TraceKind, actor: str, /, **data: Any
-    ) -> TraceEvent:
-        """Append one event and return it."""
+    ) -> Optional[TraceEvent]:
+        """Append one event and return it (``None`` if filtered out)."""
+        if self._keep is not None and kind not in self._keep:
+            return None
+        events = self._events
         event = TraceEvent(
-            time=time, kind=kind, actor=actor, data=data, seq=len(self._events)
+            time=time, kind=kind, actor=actor, data=data, seq=len(events)
         )
-        self._events.append(event)
+        events.append(event)
+        by_kind = self._by_kind.get(kind)
+        if by_kind is None:
+            self._by_kind[kind] = [event]
+        else:
+            by_kind.append(event)
         return event
 
     # -- queries -------------------------------------------------------
@@ -102,10 +154,15 @@ class TraceRecorder:
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> List[TraceEvent]:
         """Filtered view of the trace, preserving order."""
+        # The kind index bounds the scan to matching events; relative
+        # order within one kind equals trace order (appends only).
+        pool = (
+            self._by_kind.get(kind, []) if kind is not None else self._events
+        )
+        if actor is None and predicate is None:
+            return list(pool)
         out: List[TraceEvent] = []
-        for e in self._events:
-            if kind is not None and e.kind is not kind:
-                continue
+        for e in pool:
             if actor is not None and e.actor != actor:
                 continue
             if predicate is not None and not predicate(e):
@@ -120,9 +177,10 @@ class TraceRecorder:
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> Optional[TraceEvent]:
         """First matching event or ``None``."""
-        for e in self._events:
-            if kind is not None and e.kind is not kind:
-                continue
+        pool = (
+            self._by_kind.get(kind, []) if kind is not None else self._events
+        )
+        for e in pool:
             if actor is not None and e.actor != actor:
                 continue
             if predicate is not None and not predicate(e):
@@ -137,9 +195,10 @@ class TraceRecorder:
         predicate: Optional[Callable[[TraceEvent], bool]] = None,
     ) -> Optional[TraceEvent]:
         """Last matching event or ``None``."""
-        for e in reversed(self._events):
-            if kind is not None and e.kind is not kind:
-                continue
+        pool = (
+            self._by_kind.get(kind, []) if kind is not None else self._events
+        )
+        for e in reversed(pool):
             if actor is not None and e.actor != actor:
                 continue
             if predicate is not None and not predicate(e):
@@ -148,8 +207,15 @@ class TraceRecorder:
         return None
 
     def count(self, kind: Optional[TraceKind] = None, actor: Optional[str] = None) -> int:
-        """Number of matching events."""
-        return len(self.events(kind=kind, actor=actor))
+        """Number of matching events (O(1) for pure kind/total counts)."""
+        if actor is None:
+            if kind is None:
+                return len(self._events)
+            return len(self._by_kind.get(kind, ()))
+        pool = (
+            self._by_kind.get(kind, []) if kind is not None else self._events
+        )
+        return sum(1 for e in pool if e.actor == actor)
 
     def actors(self) -> List[str]:
         """Sorted distinct actor names appearing in the trace."""
@@ -180,4 +246,4 @@ class TraceRecorder:
         ]
 
 
-__all__ = ["TraceEvent", "TraceKind", "TraceRecorder"]
+__all__ = ["CHECKER_KINDS", "TraceEvent", "TraceKind", "TraceRecorder"]

@@ -9,9 +9,10 @@ registry (`repro.analysis.query.METRICS`) feeds ``--list-metrics``
 and the ``analyze --help`` epilog, and the ``analyze`` parser's flags
 are the subcommand's real interface — docs/ANALYSIS.md documents
 both, and README.md documents the incremental-campaign flag
-(``--resume``).  This script fails (exit 1) when any registered axis
-name, analysis metric, or ``analyze`` CLI flag is missing from the
-document that promises it, naming each gap.
+(``--resume``) plus every ``tools/bench.py`` flag (the perf harness's
+real interface, via its ``cli_flags()``).  This script fails (exit 1)
+when any registered axis name, analysis metric, or CLI flag is
+missing from the document that promises it, naming each gap.
 
 Run from the repository root (CI does)::
 
@@ -38,6 +39,11 @@ ANALYSIS_DOCUMENT = "docs/ANALYSIS.md"
 #: Documents that must mention every incremental-campaign flag.
 RESUME_FLAGS = ("--resume",)
 RESUME_DOCUMENTS = ("README.md", "docs/ANALYSIS.md")
+
+#: Document that must mention every tools/bench.py flag (plus the
+#: campaign chunksize knob that tunes what the bench measures).
+BENCH_DOCUMENT = "README.md"
+BENCH_EXTRA_FLAGS = ("--chunksize",)
 
 
 def _read_documents(root: Path, names, problems: List[str]) -> Dict[str, str]:
@@ -119,6 +125,23 @@ def find_gaps(root: Path = ROOT) -> List[str]:
         for flag in RESUME_FLAGS:
             if f"`{flag}`" not in text:
                 problems.append(f"{rel}: campaign flag `{flag}` not documented")
+
+    # The perf harness: every tools/bench.py flag must be documented
+    # (backticked, bare or usage-style) in the README's performance
+    # section, from the same parser that --help renders.
+    sys.path.insert(0, str(root / "tools"))
+    try:
+        from bench import cli_flags as bench_cli_flags
+    finally:
+        sys.path.pop(0)
+    bench_texts = _read_documents(root, (BENCH_DOCUMENT,), problems)
+    bench_text = bench_texts.get(BENCH_DOCUMENT, "")
+    if bench_text:
+        for flag in tuple(bench_cli_flags()) + BENCH_EXTRA_FLAGS:
+            if f"`{flag}`" not in bench_text and f"`{flag} " not in bench_text:
+                problems.append(
+                    f"{BENCH_DOCUMENT}: bench flag `{flag}` not documented"
+                )
     return problems
 
 
@@ -130,8 +153,8 @@ def main() -> int:
         print(
             f"docs-consistency: {len(problems)} problem(s); update "
             f"{' / '.join(DOCUMENTS + (ANALYSIS_DOCUMENT,))} to match "
-            "repro/scenarios/registry.py, repro/analysis/query.py, and "
-            "repro/analysis/cli.py",
+            "repro/scenarios/registry.py, repro/analysis/query.py, "
+            "repro/analysis/cli.py, and tools/bench.py",
             file=sys.stderr,
         )
         return 1
