@@ -13,7 +13,7 @@ distinct valid votes agree.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from ..crypto.certificates import Decision, QuorumCertificate, Vote
 from ..crypto.keys import KeyRing
@@ -31,15 +31,24 @@ class PaymentNotary(Notary):
     escrows:
         Names of the escrows whose "escrowed" reports are required.
     beneficiary:
-        Bob — the only party whose commit request counts.
+        The sink customers whose commit requests count — Bob alone on
+        a path; every sink on a payment DAG (one name or a sequence).
     """
 
-    def __init__(self, *args: Any, escrows: List[str], beneficiary: str, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        *args: Any,
+        escrows: List[str],
+        beneficiary: Union[str, Sequence[str]],
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.escrows = list(escrows)
-        self.beneficiary = beneficiary
+        self.beneficiaries = (
+            [beneficiary] if isinstance(beneficiary, str) else list(beneficiary)
+        )
         self.reported: Set[str] = set()
-        self.commit_requested = False
+        self.commit_requests: Set[str] = set()
         self.abort_requested = False
 
     # -- protocol inputs -----------------------------------------------------
@@ -59,22 +68,23 @@ class PaymentNotary(Notary):
             self.reported.add(message.sender)
         elif (
             message.kind is MsgKind.COMMIT_REQUEST
-            and message.sender == self.beneficiary
+            and message.sender in self.beneficiaries
         ):
-            self.commit_requested = True
+            self.commit_requests.add(message.sender)
         elif message.kind is MsgKind.ABORT_REQUEST:
             self.abort_requested = True
         self._update_preference()
 
     def _update_preference(self) -> None:
+        commit_requested = len(self.commit_requests) == len(self.beneficiaries)
         evidence = {
-            "commit_requested": self.commit_requested,
+            "commit_requested": commit_requested,
             "abort_requested": self.abort_requested,
             "reported": sorted(self.reported),
         }
         if self.abort_requested:
             self.abort_justified = True
-        if self.commit_requested and len(self.reported) == len(self.escrows):
+        if commit_requested and len(self.reported) == len(self.escrows):
             self.commit_justified = True
         if self.preference is None:
             if self.abort_justified:

@@ -237,15 +237,41 @@ def compute_graph_params(
     slowest sink's — can return inside the window.  On a path this
     reproduces :func:`compute_params` exactly.
 
-    Memoized by graph *shape* — the ``(escrow, hops-to-sink)`` table —
-    rather than by the graph object, because campaign trials relabel
-    the same shape under a fresh ``payment_id`` every run.  The cached
-    instance is shared; treat its ``a``/``d`` maps as read-only.
+    **Fan-in skew.**  The hops-to-sink recurrence assumes the sink's
+    certificate is triggered by *this* escrow's own deposit cascade —
+    true whenever every reachable sink has in-degree 1 (paths, trees,
+    hubs).  A sink with several in-edges (the multi-source ``fan-in``
+    shape, or any DAG merge) issues χ only once **all** its in-chains
+    have promised, and sibling chains set up independently from
+    protocol start: this escrow can be deposited almost immediately
+    while the slowest sibling chain is still relaying
+    guarantee → money → promise.  Each escrow therefore budgets the
+    longest source-to-sink chain into any such shared sink as extra
+    cascade hops (``skew``); with in-degree-1 sinks the skew is zero
+    and the pre-DAG windows are reproduced bit-for-bit.
+
+    Memoized by graph *shape* — the ``(escrow, hops-to-sink,
+    fan-in-skew)`` table — rather than by the graph object, because
+    campaign trials relabel the same shape under a fresh
+    ``payment_id`` every run.  The cached instance is shared; treat
+    its ``a``/``d`` maps as read-only.
     """
     if margin < 0:
         raise ParameterError(f"margin must be >= 0, got {margin!r}")
     shape = tuple(
-        (edge.escrow, graph.depth_to_sink(edge.downstream)) for edge in graph.edges
+        (
+            edge.escrow,
+            graph.depth_to_sink(edge.downstream),
+            max(
+                (
+                    graph.depth_from_source(sink)
+                    for sink in graph.reachable_sinks(edge.downstream)
+                    if len(graph.in_edges(sink)) > 1
+                ),
+                default=0,
+            ),
+        )
+        for edge in graph.edges
     )
     return _graph_params_for_shape(
         shape, graph.depth, assumptions, drift_tuned, margin
@@ -254,7 +280,7 @@ def compute_graph_params(
 
 @lru_cache(maxsize=256)
 def _graph_params_for_shape(
-    shape: Tuple[Tuple[str, int], ...],
+    shape: Tuple[Tuple[str, int, int], ...],
     depth: int,
     assumptions: TimingAssumptions,
     drift_tuned: bool,
@@ -264,8 +290,8 @@ def _graph_params_for_shape(
     inflation = (1.0 + t.rho) if drift_tuned else 1.0
     a_map: Dict[str, float] = {}
     d_map: Dict[str, float] = {}
-    for escrow, hops in shape:
-        h = h_from_hops(hops, t)
+    for escrow, hops, skew in shape:
+        h = h_from_hops(hops + skew, t)
         a = inflation * h + margin
         d = a + 2.0 * inflation * t.epsilon + margin
         a_map[escrow] = a

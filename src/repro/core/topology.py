@@ -437,6 +437,27 @@ class PaymentGraph:
         except KeyError:
             raise ProtocolError(f"not a customer name: {customer!r}") from None
 
+    @cached_property
+    def _depth_from_source(self) -> Dict[str, int]:
+        """Longest hop count from any source down to each customer."""
+        depths: Dict[str, int] = {}
+        # _depth_to_sink's keys are in reverse-topological (sinks-first)
+        # order, so walking them backwards visits every upstream
+        # customer before its downstream ones.
+        for node in reversed(list(self._depth_to_sink)):
+            ins = self._in_edges[node]
+            depths[node] = (
+                0 if not ins else 1 + max(depths[e.upstream] for e in ins)
+            )
+        return depths
+
+    def depth_from_source(self, customer: str) -> int:
+        """Longest path (in hops) from any source down to ``customer``."""
+        try:
+            return self._depth_from_source[customer]
+        except KeyError:
+            raise ProtocolError(f"not a customer name: {customer!r}") from None
+
     @property
     def depth(self) -> int:
         """Longest source-to-sink path length in hops (``n`` on the path)."""

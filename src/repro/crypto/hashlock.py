@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Dict, Sequence
 
 from ..errors import CryptoError
 
@@ -57,4 +58,19 @@ def new_secret(seed: str) -> Preimage:
     return Preimage(hashlib.blake2b(seed.encode("utf-8"), digest_size=32).digest())
 
 
-__all__ = ["HashLock", "Preimage", "new_secret"]
+def sink_secrets(payment_id: str, sinks: Sequence[str]) -> Dict[str, Preimage]:
+    """One deterministic secret per payment recipient.
+
+    On a multi-sink payment DAG every recipient holds their *own*
+    secret, so a hop commits only when every sink downstream of it has
+    revealed theirs.  The single-sink case keeps the historical
+    ``<payment_id>/secret`` seed so path runs stay byte-identical with
+    pre-DAG builds.
+    """
+    if len(sinks) == 1:
+        return {sinks[0]: new_secret(f"{payment_id}/secret")}
+    return {sink: new_secret(f"{payment_id}/secret/{sink}") for sink in sinks}
+
+
+__all__ = ["HashLock", "Preimage", "new_secret", "sink_secrets"]
+

@@ -17,7 +17,7 @@ Three contracts cover the paper's on-chain needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from ..errors import ContractError
 from ..crypto.certificates import Decision
@@ -36,9 +36,11 @@ class TransactionManagerContract(Contract):
 
     The first satisfied rule wins; afterwards the decision is frozen.
     ``escrowed`` reports are only accepted from the registered escrows;
-    ``request_commit`` only from the registered beneficiary (Bob) —
-    matching the paper, where the commit certificate is what *Alice*
-    uses as proof that *Bob* has been paid, so Bob must have asked.
+    ``request_commit`` only from the registered beneficiaries (Bob on a
+    path, every sink on a payment DAG — ``beneficiary`` accepts one
+    name or a sequence) — matching the paper, where the commit
+    certificate is what *Alice* uses as proof that the recipients have
+    been paid, so each of them must have asked.
 
     Methods
     -------
@@ -51,16 +53,18 @@ class TransactionManagerContract(Contract):
         address: str,
         payment_id: str,
         escrows: List[str],
-        beneficiary: str,
+        beneficiary: Union[str, Sequence[str]],
     ) -> None:
         super().__init__(address)
         if not escrows:
             raise ContractError("transaction manager needs at least one escrow")
         self.payment_id = payment_id
         self.escrows = list(escrows)
-        self.beneficiary = beneficiary
+        self.beneficiaries = (
+            [beneficiary] if isinstance(beneficiary, str) else list(beneficiary)
+        )
         self.reported: Set[str] = set()
-        self.commit_requested = False
+        self.commit_requests: Set[str] = set()
         self.decision: Optional[Decision] = None
         self.decided_at_height: Optional[int] = None
 
@@ -83,11 +87,12 @@ class TransactionManagerContract(Contract):
         return self._status()
 
     def _request_commit(self, ctx: CallContext) -> Dict[str, Any]:
-        if ctx.sender != self.beneficiary:
+        if ctx.sender not in self.beneficiaries:
             raise ContractError(
-                f"only {self.beneficiary!r} may request commit, not {ctx.sender!r}"
+                f"only {self.beneficiaries!r} may request commit, "
+                f"not {ctx.sender!r}"
             )
-        self.commit_requested = True
+        self.commit_requests.add(ctx.sender)
         self._maybe_decide(ctx)
         return self._status()
 
@@ -98,9 +103,9 @@ class TransactionManagerContract(Contract):
         return self._status()
 
     def _maybe_decide(self, ctx: CallContext) -> None:
-        if self.decision is None and self.commit_requested and len(
-            self.reported
-        ) == len(self.escrows):
+        if self.decision is None and len(self.commit_requests) == len(
+            self.beneficiaries
+        ) and len(self.reported) == len(self.escrows):
             self.decision = Decision.COMMIT
             self.decided_at_height = ctx.block_height
 
@@ -109,7 +114,8 @@ class TransactionManagerContract(Contract):
             "payment_id": self.payment_id,
             "decision": self.decision.value if self.decision else None,
             "reported": sorted(self.reported),
-            "commit_requested": self.commit_requested,
+            "commit_requested": len(self.commit_requests)
+            == len(self.beneficiaries),
         }
 
 

@@ -14,7 +14,7 @@ blockchains, transaction managers, notaries — which may run forever.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Dict, List, Type
+from typing import Any, ClassVar, Dict, FrozenSet, List, Type
 
 from ..core.session import PaymentEnv
 from ..errors import ProtocolError
@@ -26,6 +26,15 @@ class PaymentProtocol(ABC):
 
     #: Registry key; subclasses must override.
     name: ClassVar[str] = ""
+
+    #: Topology *traits* this protocol can run on.  A topology demands
+    #: the traits :func:`topology_traits` derives from its shape
+    #: (``"path"``, ``"dag"``, ``"multi-source"``); a protocol declares
+    #: the traits it supports, and :func:`check_supported` rejects the
+    #: build when the demand exceeds the declaration.  The scenario
+    #: layer reads the same declaration to *skip* unsupported campaign
+    #: cells with a reason instead of erroring.
+    supported_topologies: ClassVar[FrozenSet[str]] = frozenset({"path"})
 
     def __init__(self, env: PaymentEnv) -> None:
         self.env = env
@@ -74,19 +83,46 @@ class PaymentProtocol(ABC):
         return process
 
 
-def require_path(topology: Any, protocol_name: str) -> None:
-    """Reject non-path payment graphs for path-only protocols.
+def topology_traits(topology: Any) -> FrozenSet[str]:
+    """The traits a payment graph *demands* from a protocol.
 
-    The time-bounded protocol is ported to general payment DAGs; the
-    others still assume the Figure-1 chain, and running them on a
-    fan-out graph would silently mis-wire hops.
+    Every graph demands either ``"path"`` (a single Figure-1 chain) or
+    ``"dag"`` (anything with branching); graphs with more than one
+    source additionally demand ``"multi-source"``.
     """
-    if not topology.is_path:
+    traits = {"path"} if topology.is_path else {"dag"}
+    if len(topology.sources()) > 1:
+        traits.add("multi-source")
+    return frozenset(traits)
+
+
+def check_supported(topology: Any, protocol: Any) -> None:
+    """Reject a topology whose traits the protocol does not declare.
+
+    ``protocol`` may be a :class:`PaymentProtocol` class or instance.
+    """
+    supported = protocol.supported_topologies
+    name = protocol.name
+    missing = sorted(topology_traits(topology) - supported)
+    if missing:
         raise ProtocolError(
-            f"protocol {protocol_name!r} supports path topologies only; "
-            f"this graph has {len(topology.sources())} source(s) and "
-            f"{topology.leaves} sink(s) — use 'timebounded' for payment DAGs"
+            f"protocol {name!r} does not support this topology: it "
+            f"demands {missing} but the protocol declares "
+            f"{sorted(supported)} (sources={len(topology.sources())}, "
+            f"sinks={topology.leaves})"
         )
+
+
+def protocol_capabilities(name: str) -> FrozenSet[str]:
+    """The ``supported_topologies`` declaration of a registered protocol."""
+    _ensure_builtins_loaded()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls.supported_topologies
 
 
 _REGISTRY: Dict[str, Type[PaymentProtocol]] = {}
@@ -131,7 +167,9 @@ def _ensure_builtins_loaded() -> None:
 __all__ = [
     "PaymentProtocol",
     "available_protocols",
+    "check_supported",
     "create_protocol",
+    "protocol_capabilities",
     "register_protocol",
-    "require_path",
+    "topology_traits",
 ]

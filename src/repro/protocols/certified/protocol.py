@@ -26,7 +26,7 @@ Structure here:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Set
+from typing import Any, List, Optional, Sequence, Set, Union
 
 from ...crypto.certificates import Decision, DecisionCertificate
 from ...crypto.signatures import SignedClaim
@@ -38,7 +38,12 @@ from ...sim.process import Process
 from ...sim.trace import TraceKind
 from ..base import register_protocol
 from ..weak.protocol import WeakLivenessProtocol
-from ..weak.tm import DecisionListener, TMBackend, _SingleIssuerListener
+from ..weak.tm import (
+    DecisionListener,
+    TMBackend,
+    _SingleIssuerListener,
+    as_beneficiaries,
+)
 
 
 class CBCObserver(Process):
@@ -55,7 +60,7 @@ class CBCObserver(Process):
         identity: Any,
         payment_id: str,
         escrows: List[str],
-        beneficiary: str,
+        beneficiary: Union[str, Sequence[str]],
         participants: List[str],
     ) -> None:
         super().__init__(sim, name)
@@ -66,7 +71,7 @@ class CBCObserver(Process):
         self.identity = identity
         self.payment_id = payment_id
         self.escrows = list(escrows)
-        self.beneficiary = beneficiary
+        self.beneficiaries = as_beneficiaries(beneficiary)
         self.participants = list(participants)
         self.broadcasted = False
         chain.subscribe_finality(self._on_finality)
@@ -94,7 +99,7 @@ class CBCObserver(Process):
     ) -> Optional[Decision]:
         """Decision rule over the published-and-final prefix of the log."""
         reported: Set[str] = set()
-        commit_requested = False
+        commit_requests: Set[str] = set()
         for record in log:
             if record.height > up_to_height:
                 break
@@ -110,9 +115,14 @@ class CBCObserver(Process):
                 return Decision.ABORT
             if kind == "escrowed" and record.publisher in self.escrows:
                 reported.add(record.publisher)
-            elif kind == "commit_request" and record.publisher == self.beneficiary:
-                commit_requested = True
-            if commit_requested and len(reported) == len(self.escrows):
+            elif (
+                kind == "commit_request"
+                and record.publisher in self.beneficiaries
+            ):
+                commit_requests.add(record.publisher)
+            if len(commit_requests) == len(self.beneficiaries) and len(
+                reported
+            ) == len(self.escrows):
                 return Decision.COMMIT
         return None
 
@@ -151,7 +161,7 @@ class CBCBackend(TMBackend):
             identity=env.identity_of(self.observer_name),
             payment_id=topo.payment_id,
             escrows=topo.escrows(),
-            beneficiary=topo.bob,
+            beneficiary=topo.sinks(),
             participants=topo.participants(),
         )
         protocol.add_infrastructure(chain)

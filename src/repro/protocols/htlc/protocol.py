@@ -1,30 +1,38 @@
 """Hashed-timelock (HTLC) baseline protocol.
 
 The *atomic* mode of Interledger [Thomas & Schwartz 2015] and the
-path-shaped special case of the Herlihy–Liskov–Shrira timelock commit
-protocol: no certificates, no transaction manager — just hash-locks and
-staggered deadlines.
+graph-shaped generalisation of the Herlihy–Liskov–Shrira timelock
+commit protocol: no certificates, no transaction manager — just
+hash-locks and staggered deadlines.
 
 Mechanics
 ---------
-Bob knows a secret ``s``; its hash ``h`` is common setup knowledge.
-Locks are created forward along the path with *decreasing* deadlines::
+Every sink knows its own secret; the hashes are common setup
+knowledge.  A hop's lock commits to *every sink reachable downstream
+of it* (one :class:`~repro.crypto.hashlock.HashLock` per sink), so on
+the Figure-1 path each lock carries exactly Bob's hash.  Locks are
+created forward along the graph with *decreasing* deadlines::
 
-    lock at e_i:  depositor c_i, beneficiary c_{i+1}, hash h,
-                  local deadline  D_i = start_i + (n - i) * step
+    lock at e:  depositor u, beneficiary d, hashes {reachable sinks},
+                local deadline  D = start + (depth - dist) * step
 
 so every beneficiary has at least ``step`` local-clock units to claim
-upstream after learning the secret downstream.  Bob claims at
-``e_{n-1}`` by revealing ``s``; each claim reveals ``s`` to the lock's
-depositor, who then claims one hop upstream.  An unclaimed lock is
-refunded at its deadline.
+upstream after learning the secrets downstream.  A sink claims its
+incoming locks by revealing its secret; each claim reveals the
+preimage set to the lock's depositor, and a connector claims upstream
+once the revealed preimages cover every sink she forwards to
+(forwarding the set upstream along reverse edges).  An unclaimed lock
+is refunded at its deadline.
 
-What the paper says about this protocol — and what experiment E6
-verifies — is that it offers **no success guarantee**: under synchrony
-with honest parties it completes, but under partial synchrony a delayed
-claim can leave a connector paying downstream without being paid
-upstream (CS3 violation), and there is nothing like χ for Alice (CS1's
-certificate arm is replaced by possession of the revealed secret).
+What the paper says about this protocol — and what experiments E6 and
+the fan-out scheduling-attack study verify — is that it offers **no
+success guarantee**: under synchrony with honest parties it completes,
+but under partial synchrony a delayed claim can leave a connector
+paying downstream without being paid upstream (CS3 violation), and on
+a fan-out graph *one sibling hop can commit while another refunds*,
+which no per-hop mechanism can reconcile.  There is nothing like χ for
+Alice (CS1's certificate arm is replaced by possession of the revealed
+secrets).
 
 Options
 -------
@@ -38,21 +46,21 @@ Options
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
 from ...clocks import DriftingClock, PERFECT_CLOCK
-from ...crypto.hashlock import HashLock, Preimage, new_secret
+from ...crypto.hashlock import HashLock, Preimage, sink_secrets
 from ...errors import ProtocolError
 from ...ledger.asset import Amount
 from ...ledger.ledger import Ledger
 from ...net.message import Envelope, MsgKind
 from ...sim.process import Process
 from ...sim.trace import TraceKind
-from ..base import PaymentProtocol, register_protocol, require_path
+from ..base import PaymentProtocol, check_supported, register_protocol
 
 
 class HTLCEscrow(Process):
-    """Escrow honouring hash-locks with a local-clock deadline."""
+    """Escrow honouring per-sink hash-locks with a local-clock deadline."""
 
     def __init__(
         self,
@@ -64,7 +72,7 @@ class HTLCEscrow(Process):
         upstream: str,
         downstream: str,
         amount: Amount,
-        hashlock: HashLock,
+        hashlocks: Dict[str, HashLock],
         clock: DriftingClock = PERFECT_CLOCK,
     ) -> None:
         super().__init__(sim, name)
@@ -74,7 +82,8 @@ class HTLCEscrow(Process):
         self.upstream = upstream
         self.downstream = downstream
         self.amount = amount
-        self.hashlock = hashlock
+        #: sink -> lock: a claim must open every one of them.
+        self.hashlocks = dict(hashlocks)
         self.clock = clock
         self.lock_id: Optional[str] = None
         self.deadline_local: Optional[float] = None
@@ -125,9 +134,13 @@ class HTLCEscrow(Process):
         payload = message.payload
         if self.resolved or self.lock_id is None or not isinstance(payload, dict):
             return
-        preimage = payload.get("preimage")
-        if not isinstance(preimage, Preimage) or not self.hashlock.matches(preimage):
+        preimages = payload.get("preimages")
+        if not isinstance(preimages, dict):
             return
+        for sink, lock in self.hashlocks.items():
+            preimage = preimages.get(sink)
+            if not isinstance(preimage, Preimage) or not lock.matches(preimage):
+                return
         if self.deadline_local is not None and self.now_local >= self.deadline_local:
             return  # too late: the refund path owns the lock now
         self.resolved = True
@@ -136,10 +149,13 @@ class HTLCEscrow(Process):
         self.network.send(
             self, self.downstream, MsgKind.MONEY, {"amount": self.amount, "note": "payment"}
         )
-        # On-chain claims reveal the preimage publicly; here the escrow
-        # forwards it to the depositor, who needs it to claim upstream.
+        # On-chain claims reveal the preimages publicly; here the escrow
+        # forwards them to the depositor, who needs them to claim upstream.
         self.network.send(
-            self, self.upstream, MsgKind.SECRET, {"preimage": preimage}
+            self,
+            self.upstream,
+            MsgKind.SECRET,
+            {"preimages": {sink: preimages[sink] for sink in self.hashlocks}},
         )
         self.terminate(reason="claimed")
 
@@ -158,7 +174,7 @@ class HTLCEscrow(Process):
 
 
 class HTLCCustomer(Process):
-    """Customer of the HTLC chain (Alice / connector / Bob)."""
+    """Customer of the HTLC graph (source / connector / sink)."""
 
     def __init__(
         self,
@@ -167,12 +183,12 @@ class HTLCCustomer(Process):
         network: Any,
         payment_id: str,
         role: str,
-        hashlock: HashLock,
-        secret: Optional[Preimage] = None,
-        deposit_escrow: Optional[str] = None,
-        deposit_amount: Optional[Amount] = None,
-        incoming_escrow: Optional[str] = None,
-        lock_deadline_local: Optional[float] = None,
+        hashlocks: Dict[str, HashLock],
+        required: Sequence[str] = (),
+        secrets: Optional[Dict[str, Preimage]] = None,
+        deposit_escrows: Optional[Dict[str, Amount]] = None,
+        incoming_escrows: Sequence[str] = (),
+        lock_deadlines: Optional[Dict[str, float]] = None,
         step: float = 1.0,
         give_up_local: Optional[float] = None,
         clock: DriftingClock = PERFECT_CLOCK,
@@ -182,17 +198,36 @@ class HTLCCustomer(Process):
         self.network = network
         self.payment_id = payment_id
         self.role = role
-        self.hashlock = hashlock
-        self.secret = secret
-        self.deposit_escrow = deposit_escrow
-        self.deposit_amount = deposit_amount
-        self.incoming_escrow = incoming_escrow
-        self.lock_deadline_local = lock_deadline_local
+        #: sink -> lock, the full common-setup hash map.
+        self.hashlocks = dict(hashlocks)
+        #: the sinks whose preimages this customer needs to claim her
+        #: incoming locks (= the sinks reachable through her out-edges;
+        #: a sink needs only its own).
+        self.required = tuple(required)
+        #: sink -> revealed preimage, seeded with this customer's own
+        #: secret when she is a sink.
+        self.preimages: Dict[str, Preimage] = dict(secrets or {})
+        #: escrow -> amount, insertion-ordered per out-edge.
+        self.deposit_escrows: Dict[str, Amount] = dict(deposit_escrows or {})
+        self.incoming_escrows = tuple(incoming_escrows)
+        #: escrow -> lock deadline (sources only; on that escrow's clock).
+        self.lock_deadlines = dict(lock_deadlines or {})
         self.step = step
         self.give_up_local = give_up_local
         self.clock = clock
         self.behavior = behavior
         self.deposited = False
+        #: upstream setups seen: escrow -> its lock deadline.
+        self.setups: Dict[str, float] = {}
+        #: out-edge escrows whose locks were claimed (SECRET received).
+        self.claimed_out: Set[str] = set()
+        #: out-edge escrows whose locks were refunded.
+        self.refunded_out: Set[str] = set()
+        #: incoming escrows that released their payment to us.
+        self.paid_in: Set[str] = set()
+        self.claims_sent = False
+        self.receipt_recorded = False
+        self._receipted: Set[str] = set()
         self.outcome: Optional[str] = None
 
     @property
@@ -203,26 +238,41 @@ class HTLCCustomer(Process):
         if self.give_up_local is not None:
             self.set_timer_at("give_up", self.clock.global_time(self.give_up_local))
         if self.role == "alice" and self.behavior != "never_deposit":
-            self._deposit(self.lock_deadline_local)
+            self._deposit_all(self.lock_deadlines)
 
-    def _deposit(self, deadline_local: Optional[float]) -> None:
-        if self.deposited or self.deposit_escrow is None or deadline_local is None:
+    def _deposit_all(self, deadlines: Dict[str, float]) -> None:
+        if self.deposited or not self.deposit_escrows or not deadlines:
             return
         self.deposited = True
-        self.network.send(
-            self,
-            self.deposit_escrow,
-            MsgKind.MONEY,
-            {"amount": self.deposit_amount, "deadline": deadline_local},
-        )
+        for escrow, amount in self.deposit_escrows.items():
+            deadline = deadlines.get(escrow)
+            if deadline is None:
+                continue
+            self.network.send(
+                self,
+                escrow,
+                MsgKind.MONEY,
+                {"amount": amount, "deadline": deadline},
+            )
 
     def handle_message(self, message: Envelope) -> None:
-        if message.kind is MsgKind.HASHLOCK_SETUP and message.sender == self.incoming_escrow:
+        if (
+            message.kind is MsgKind.HASHLOCK_SETUP
+            and message.sender in self.incoming_escrows
+        ):
             self._on_setup(message)
-        elif message.kind is MsgKind.SECRET and message.sender == self.deposit_escrow:
+        elif message.kind is MsgKind.SECRET and message.sender in self.deposit_escrows:
             self._on_secret(message)
         elif message.kind is MsgKind.MONEY:
             self._on_money(message)
+
+    def _claim(self, escrow: str) -> None:
+        self.network.send(
+            self,
+            escrow,
+            MsgKind.CLAIM,
+            {"preimages": {sink: self.preimages[sink] for sink in self.required}},
+        )
 
     def _on_setup(self, message: Envelope) -> None:
         payload = message.payload
@@ -230,53 +280,106 @@ class HTLCCustomer(Process):
             return
         upstream_deadline = float(payload.get("deadline", 0.0))
         if self.role == "bob":
-            if self.behavior == "bob_never_claims" or self.secret is None:
+            # A sink claims each incoming lock with her own secret as it
+            # is set up.
+            if self.behavior == "bob_never_claims" or not all(
+                sink in self.preimages for sink in self.required
+            ):
                 return
-            self.network.send(
-                self,
-                self.incoming_escrow,
-                MsgKind.CLAIM,
-                {"preimage": self.secret},
-            )
+            self._claim(message.sender)
             return
-        # Connector: lock one hop downstream with a tighter deadline.
-        # The deadline arithmetic uses *her* clock; upstream_deadline is
-        # on the upstream escrow's clock — under bounded drift the step
-        # must absorb the skew, which is why the naive HTLC stagger is
-        # another drift casualty (cf. experiment E6).
+        # Connector: lock every hop downstream with a tighter deadline,
+        # once every incoming lock exists (she only fronts money that is
+        # promised to her on all sides).  The deadline arithmetic uses
+        # *her* clock; upstream deadlines are on the upstream escrows'
+        # clocks — under bounded drift the step must absorb the skew,
+        # which is why the naive HTLC stagger is another drift casualty
+        # (cf. experiment E6).
+        self.setups[message.sender] = upstream_deadline
+        if len(self.setups) < len(self.incoming_escrows):
+            return
         if self.behavior != "never_deposit":
-            self._deposit(upstream_deadline - self.step)
+            deadline = min(self.setups.values()) - self.step
+            self._deposit_all(
+                {escrow: deadline for escrow in self.deposit_escrows}
+            )
 
     def _on_secret(self, message: Envelope) -> None:
         payload = message.payload
-        preimage = payload.get("preimage") if isinstance(payload, dict) else None
-        if not isinstance(preimage, Preimage) or not self.hashlock.matches(preimage):
+        incoming = payload.get("preimages") if isinstance(payload, dict) else None
+        if not isinstance(incoming, dict):
             return
-        self.secret = preimage
-        self.sim.trace.record(
-            self.sim.now, TraceKind.CERT_RECEIVED, self.name, cert="preimage"
-        )
-        if self.role == "alice":
-            # The revealed secret is Alice's receipt; her lock was claimed.
-            self.outcome = "paid_out"
-            self.terminate(reason="secret received (payment complete)")
+        valid: Dict[str, Preimage] = {}
+        for sink, preimage in incoming.items():
+            lock = self.hashlocks.get(sink)
+            if (
+                lock is None
+                or not isinstance(preimage, Preimage)
+                or not lock.matches(preimage)
+            ):
+                continue
+            valid[sink] = preimage
+        if not valid:
             return
-        if self.incoming_escrow is not None and self.behavior != "withhold_claim":
-            self.network.send(
-                self, self.incoming_escrow, MsgKind.CLAIM, {"preimage": self.secret}
+        self.claimed_out.add(message.sender)
+        self.preimages.update(valid)
+        if len(self.required) > 1:
+            # Per-sink receipts, recorded only on multi-sink graphs so
+            # single-sink traces keep their historical shape.
+            for sink in valid:
+                if sink in self._receipted:
+                    continue
+                self._receipted.add(sink)
+                self.sim.trace.record(
+                    self.sim.now,
+                    TraceKind.CERT_RECEIVED,
+                    self.name,
+                    cert=f"preimage:{sink}",
+                )
+        covered = all(sink in self.preimages for sink in self.required)
+        if covered and not self.receipt_recorded:
+            self.receipt_recorded = True
+            self.sim.trace.record(
+                self.sim.now, TraceKind.CERT_RECEIVED, self.name, cert="preimage"
             )
+        if self.role == "alice":
+            # The revealed secrets are the source's receipt; she
+            # terminates once every lock she funded was claimed.
+            if all(e in self.claimed_out for e in self.deposit_escrows):
+                self.outcome = "paid_out"
+                self.terminate(reason="secret received (payment complete)")
+            return
+        if (
+            covered
+            and self.incoming_escrows
+            and not self.claims_sent
+            and self.behavior != "withhold_claim"
+        ):
+            self.claims_sent = True
+            for escrow in self.incoming_escrows:
+                self._claim(escrow)
 
     def _on_money(self, message: Envelope) -> None:
         payload = message.payload
         if not isinstance(payload, dict):
             return
         note = payload.get("note")
-        if note == "payment" and message.sender == self.incoming_escrow:
-            self.outcome = "paid"
-            self.terminate(reason="received payment")
-        elif note == "refund" and message.sender == self.deposit_escrow:
-            self.outcome = "refunded"
-            self.terminate(reason="refunded")
+        if note == "payment" and message.sender in self.incoming_escrows:
+            self.paid_in.add(message.sender)
+            if len(self.paid_in) == len(self.incoming_escrows):
+                self.outcome = "paid"
+                self.terminate(reason="received payment")
+        elif note == "refund" and message.sender in self.deposit_escrows:
+            self.refunded_out.add(message.sender)
+            if (
+                len(self.refunded_out) == len(self.deposit_escrows)
+                and not self.claimed_out
+            ):
+                self.outcome = "refunded"
+                self.terminate(reason="refunded")
+            # A *mixed* resolution (some hops claimed, some refunded)
+            # leaves the customer waiting — the give_up timer bounds
+            # termination, and CS3 reports the loss.
 
     def on_timer(self, timer_id: str) -> None:
         if timer_id == "give_up" and not self.terminated:
@@ -286,14 +389,17 @@ class HTLCCustomer(Process):
 
 @register_protocol
 class HTLCProtocol(PaymentProtocol):
-    """The hash-timelock baseline on the Figure 1 path."""
+    """The hash-timelock baseline on payment graphs."""
 
     name = "htlc"
+    supported_topologies: FrozenSet[str] = frozenset(
+        {"path", "dag", "multi-source"}
+    )
 
     def build(self) -> None:
         env = self.env
         topo = env.topology
-        require_path(topo, self.name)
+        check_supported(topo, type(self))
         delta = self.option("delta", env.network.timing.known_bound)
         if delta is None:
             raise ProtocolError(
@@ -304,46 +410,51 @@ class HTLCProtocol(PaymentProtocol):
         epsilon = float(self.option("epsilon", 0.05))
         step = float(self.option("step", 4.0 * (float(delta) + epsilon)))
         margin = float(self.option("give_up_margin", 4.0 * step))
-        n = topo.n_escrows
-        secret = new_secret(f"{topo.payment_id}/secret")
-        hashlock = secret.lock()
-        # Alice's lock deadline, on e_0's clock: it must cover both the
-        # forward lock-creation cascade (one setup + one deposit per hop,
-        # each <= delta + epsilon) and n claim hops of `step` each.  The
-        # per-hop staggering is then computed by each connector relative
-        # to what she observes.
-        forward_budget = 2.0 * n * (float(delta) + epsilon)
-        alice_deadline = (
-            env.clock_of(topo.escrow(0)).local_time(env.sim.now)
-            + forward_budget
-            + n * step
-        )
-        give_up = forward_budget + (n + 2.0) * step + margin
+        depth = topo.depth
+        secrets = sink_secrets(topo.payment_id, topo.sinks())
+        locks = {sink: secret.lock() for sink, secret in secrets.items()}
+        # A source's lock deadline, on the funded escrow's clock: it
+        # must cover both the forward lock-creation cascade (one setup +
+        # one deposit per hop, each <= delta + epsilon) and `depth`
+        # claim hops of `step` each.  The per-hop staggering is then
+        # computed by each connector relative to what she observes.
+        forward_budget = 2.0 * depth * (float(delta) + epsilon)
+        source_deadlines: Dict[str, float] = {}
+        for source in topo.sources():
+            for edge in topo.out_edges(source):
+                source_deadlines[edge.escrow] = (
+                    env.clock_of(edge.escrow).local_time(env.sim.now)
+                    + forward_budget
+                    + depth * step
+                )
+        give_up = forward_budget + (depth + 2.0) * step + margin
 
-        for i in range(n):
-            name = topo.escrow(i)
+        for edge in topo.edges:
+            required = topo.reachable_sinks(edge.downstream)
             escrow = HTLCEscrow(
                 sim=env.sim,
-                name=name,
+                name=edge.escrow,
                 network=env.network,
-                ledger=env.ledgers[name],
+                ledger=env.ledgers[edge.escrow],
                 payment_id=topo.payment_id,
-                upstream=topo.upstream_customer(i),
-                downstream=topo.downstream_customer(i),
-                amount=topo.amount_at(i),
-                hashlock=hashlock,
-                clock=env.clock_of(name),
+                upstream=edge.upstream,
+                downstream=edge.downstream,
+                amount=edge.amount,
+                hashlocks={sink: locks[sink] for sink in required},
+                clock=env.clock_of(edge.escrow),
             )
             self.add_participant(escrow)
 
-        for i in range(topo.n_customers):
-            name = topo.customer(i)
-            if i == 0:
-                role, dep, inc = "alice", topo.escrow(0), None
-            elif i == n:
-                role, dep, inc = "bob", None, topo.escrow(n - 1)
+        sinks = set(topo.sinks())
+        for name in topo.customers():
+            out_edges = topo.out_edges(name)
+            in_edges = topo.in_edges(name)
+            if not in_edges:
+                role = "alice"
+            elif not out_edges:
+                role = "bob"
             else:
-                role, dep, inc = "connector", topo.escrow(i), topo.escrow(i - 1)
+                role = "connector"
             clock = env.clock_of(name)
             customer = HTLCCustomer(
                 sim=env.sim,
@@ -351,12 +462,21 @@ class HTLCProtocol(PaymentProtocol):
                 network=env.network,
                 payment_id=topo.payment_id,
                 role=role,
-                hashlock=hashlock,
-                secret=secret if i == n else None,
-                deposit_escrow=dep,
-                deposit_amount=topo.amount_at(i) if dep else None,
-                incoming_escrow=inc,
-                lock_deadline_local=alice_deadline if i == 0 else None,
+                hashlocks=locks,
+                required=topo.reachable_sinks(name),
+                secrets={name: secrets[name]} if name in sinks else None,
+                deposit_escrows={
+                    edge.escrow: edge.amount for edge in out_edges
+                },
+                incoming_escrows=[edge.escrow for edge in in_edges],
+                lock_deadlines=(
+                    {
+                        edge.escrow: source_deadlines[edge.escrow]
+                        for edge in out_edges
+                    }
+                    if role == "alice"
+                    else None
+                ),
                 step=step,
                 give_up_local=clock.local_time(env.sim.now) + give_up,
                 clock=clock,

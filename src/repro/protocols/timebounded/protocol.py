@@ -71,6 +71,7 @@ class TimeBoundedProtocol(PaymentProtocol):
     """The universal protocol fine-tuned for clock drift (paper §4)."""
 
     name = "timebounded"
+    supported_topologies = frozenset({"path", "dag", "multi-source"})
 
     def build(self) -> None:
         env = self.env

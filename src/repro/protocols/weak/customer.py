@@ -6,7 +6,7 @@ expose that choice as two patience windows, measured on the customer's
 *local* clock:
 
 ``patience_setup``:
-    how long to wait for her escrow's conditional guarantee before
+    how long to wait for her escrows' conditional guarantees before
     requesting an abort;
 ``patience_decision``:
     how long to wait, after depositing, for the decision before
@@ -14,15 +14,20 @@ expose that choice as two patience windows, measured on the customer's
 
 ``None`` means infinite patience (the customer never aborts on her own).
 Weak liveness (property L of Definition 2) says: if everyone's patience
-exceeds the actual delays, Bob is paid.
+exceeds the actual delays, every sink is paid.
 
 Roles
 -----
-* Alice and the connectors: wait for the guarantee, deposit, await the
-  decision (commit ⇒ Alice holds χc; connectors await the released
-  money from their upstream escrow; abort ⇒ deposit refunded).
-* Bob: waits for his escrow's "escrowed for you" notice, then asks the
-  TM to commit; on commit he awaits the money, on abort he holds χa.
+Roles are read off a customer's position in the payment graph (in/out
+degree), which on the Figure-1 path reduces to Alice / connectors / Bob:
+
+* Sources and connectors: wait for a conditional guarantee per outgoing
+  hop, deposit into each, await the one whole-graph decision (commit ⇒
+  parties with incoming hops await the released money from every
+  upstream escrow; abort ⇒ deposits refunded).
+* Sinks: wait for an "escrowed for you" notice from *every* incoming
+  escrow, then ask the TM to commit; on commit they await the money, on
+  abort they hold χa.
 
 Byzantine variants (selected via the session's ``byzantine`` map):
 ``"never_deposit"``, ``"abort_immediately"``, ``"bob_never_commit"``.
@@ -30,7 +35,7 @@ Byzantine variants (selected via the session's ``byzantine`` map):
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
 
 from ...clocks import DriftingClock, PERFECT_CLOCK
 from ...crypto.certificates import Decision
@@ -49,12 +54,13 @@ class WeakCustomer(Process):
     Parameters
     ----------
     role:
-        ``"alice"``, ``"connector"``, or ``"bob"``.
-    deposit_escrow / deposit_amount:
-        Where and what this customer deposits (``None`` for Bob).
-    incoming_escrow:
-        The escrow expected to pay this customer on commit (``None``
-        for Alice).
+        ``"alice"`` (source), ``"connector"``, or ``"bob"`` (sink).
+    deposits:
+        ``(escrow, amount, ledger)`` triples, one per outgoing hop
+        (empty for sinks).
+    incoming_escrows:
+        The escrows expected to pay this customer on commit, one per
+        incoming hop (empty for sources).
     behavior:
         ``None`` for honest; ``"never_deposit"``, ``"abort_immediately"``
         or ``"bob_never_commit"`` for Byzantine deviations.
@@ -71,10 +77,8 @@ class WeakCustomer(Process):
         role: str,
         backend: TMBackend,
         listener: DecisionListener,
-        deposit_escrow: Optional[str] = None,
-        deposit_amount: Optional[Amount] = None,
-        deposit_ledger: Optional[Ledger] = None,
-        incoming_escrow: Optional[str] = None,
+        deposits: Sequence[Tuple[str, Amount, Optional[Ledger]]] = (),
+        incoming_escrows: Sequence[str] = (),
         clock: DriftingClock = PERFECT_CLOCK,
         patience_setup: Optional[float] = None,
         patience_decision: Optional[float] = None,
@@ -88,20 +92,23 @@ class WeakCustomer(Process):
         self.role = role
         self.backend = backend
         self.listener = listener
-        self.deposit_escrow = deposit_escrow
-        self.deposit_amount = deposit_amount
-        self.deposit_ledger = deposit_ledger
-        self.incoming_escrow = incoming_escrow
+        #: escrow -> (amount, ledger), insertion-ordered per out-edge.
+        self.deposits: Dict[str, Tuple[Amount, Optional[Ledger]]] = {
+            escrow: (amount, ledger) for escrow, amount, ledger in deposits
+        }
+        self.incoming_escrows = tuple(incoming_escrows)
         self.clock = clock
         self.patience_setup = patience_setup
         self.patience_decision = patience_decision
         self.behavior = behavior
-        self.deposited = False
-        self._balance_before_deposit: Optional[int] = None
+        #: escrow -> balance before the deposit (None = unknowable).
+        self._deposited: Dict[str, Optional[int]] = {}
         self.aborted_requested = False
+        self.commit_request_sent = False
         self.decision_seen: Optional[VerifiedDecision] = None
-        self.money_received = False
-        self.refund_received = False
+        self.promised: Set[str] = set()
+        self.money_from: Set[str] = set()
+        self.refunds_from: Set[str] = set()
 
     # -- local time ---------------------------------------------------------
 
@@ -121,8 +128,8 @@ class WeakCustomer(Process):
         if self.behavior == "abort_immediately":
             self._request_abort()
             return
-        if self.role == "bob":
-            return  # Bob waits for his escrow's notice
+        if not self.deposits:
+            return  # sinks wait for their escrows' notices
         self._arm_patience("setup", self.patience_setup)
 
     def on_timer(self, timer_id: str) -> None:
@@ -146,20 +153,21 @@ class WeakCustomer(Process):
         if decision is not None:
             self._on_decision(decision)
             return
-        if message.kind is MsgKind.GUARANTEE and message.sender == self.deposit_escrow:
+        if message.kind is MsgKind.GUARANTEE and message.sender in self.deposits:
             self._on_guarantee(message)
         elif message.kind is MsgKind.PROMISE and self.role == "bob":
-            self._on_bob_notice(message)
+            self._on_sink_notice(message)
         elif message.kind is MsgKind.MONEY:
             self._on_money(message)
 
     def _on_guarantee(self, message: Envelope) -> None:
+        escrow = message.sender
         claim = message.payload
         if not isinstance(claim, SignedClaim):
             return
-        if not claim.valid(self.keyring, expected_signer=self.deposit_escrow):
+        if not claim.valid(self.keyring, expected_signer=escrow):
             return
-        if claim.get("payment_id") != self.payment_id or self.deposited:
+        if claim.get("payment_id") != self.payment_id or escrow in self._deposited:
             return
         if self.decision_seen is not None or self.behavior == "never_deposit":
             return
@@ -168,33 +176,40 @@ class WeakCustomer(Process):
             # abort-immediately deviation), a customer does not then put
             # money at risk.
             return
-        self.cancel_timer("setup")
-        self.deposited = True
-        if self.deposit_ledger is not None and self.deposit_amount is not None:
-            self._balance_before_deposit = self.deposit_ledger.balance(
-                self.name, self.deposit_amount.asset
-            ).units
+        if len(self._deposited) + 1 == len(self.deposits):
+            self.cancel_timer("setup")
+        amount, ledger = self.deposits[escrow]
+        before: Optional[int] = None
+        if ledger is not None:
+            before = ledger.balance(self.name, amount.asset).units
+        self._deposited[escrow] = before
         self.network.send(
             self,
-            self.deposit_escrow,
+            escrow,
             MsgKind.MONEY,
-            {"amount": self.deposit_amount, "note": "deposit"},
+            {"amount": amount, "note": "deposit"},
         )
         self._arm_patience("decision", self.patience_decision)
 
-    def _on_bob_notice(self, message: Envelope) -> None:
+    def _on_sink_notice(self, message: Envelope) -> None:
         claim = message.payload
         if not isinstance(claim, SignedClaim):
             return
-        if message.sender != self.incoming_escrow:
+        if message.sender not in self.incoming_escrows:
             return
-        if not claim.valid(self.keyring, expected_signer=self.incoming_escrow):
+        if not claim.valid(self.keyring, expected_signer=message.sender):
             return
         if claim.get("payment_id") != self.payment_id:
             return
         if self.behavior == "bob_never_commit":
             return
-        if self.decision_seen is None:
+        self.promised.add(message.sender)
+        if (
+            self.decision_seen is None
+            and not self.commit_request_sent
+            and len(self.promised) == len(self.incoming_escrows)
+        ):
+            self.commit_request_sent = True
             request = SignedClaim.make(
                 self.identity, payment_id=self.payment_id, kind="commit_request"
             )
@@ -206,10 +221,10 @@ class WeakCustomer(Process):
         if not isinstance(payload, dict):
             return
         note = payload.get("note")
-        if note == "payment" and message.sender == self.incoming_escrow:
-            self.money_received = True
-        elif note == "refund" and message.sender == self.deposit_escrow:
-            self.refund_received = True
+        if note == "payment" and message.sender in self.incoming_escrows:
+            self.money_from.add(message.sender)
+        elif note == "refund" and message.sender in self.deposits:
+            self.refunds_from.add(message.sender)
         self._maybe_finish()
 
     # -- decisions ----------------------------------------------------------------------
@@ -228,44 +243,45 @@ class WeakCustomer(Process):
         )
         self._maybe_finish()
 
-    def _deposit_outstanding(self) -> bool:
-        """Whether money actually left this customer's account.
+    def _deposit_outstanding(self, escrow: str) -> bool:
+        """Whether money actually left this customer's account at ``escrow``.
 
         A customer trusts — and holds an account at — her deposit
         escrow, so checking her own ledger balance is legitimate.  An
         in-flight deposit that the escrow never locked (e.g. it decided
         abort first) leaves the balance untouched: nothing to wait for.
         """
-        if not self.deposited:
+        if escrow not in self._deposited:
             return False
-        if (
-            self.deposit_ledger is None
-            or self.deposit_amount is None
-            or self._balance_before_deposit is None
-        ):
+        before = self._deposited[escrow]
+        amount, ledger = self.deposits[escrow]
+        if ledger is None or before is None:
             return True  # cannot check; assume outstanding
-        current = self.deposit_ledger.balance(
-            self.name, self.deposit_amount.asset
-        ).units
-        return current < self._balance_before_deposit
+        current = ledger.balance(self.name, amount.asset).units
+        return current < before
 
     def _maybe_finish(self) -> None:
         """Terminate once the decision arrived and the money settled.
 
-        commit: a customer expecting incoming money waits for it; Alice
-        (no incoming escrow) terminates on χc alone.
-        abort: a customer whose deposit actually left her account waits
-        for the refund; everyone else terminates on the certificate.
+        commit: a customer expecting incoming money waits for all of it;
+        a source (no incoming escrows) terminates on χc alone.
+        abort: a customer whose deposits actually left her account waits
+        for their refunds; everyone else terminates on the certificate.
         """
         if self.decision_seen is None:
             return
         if self.decision_seen.decision is Decision.COMMIT:
-            if self.incoming_escrow is not None and not self.money_received:
-                return
+            for escrow in self.incoming_escrows:
+                if escrow not in self.money_from:
+                    return
             self.terminate(reason="committed")
         else:
-            if self.refund_received or not self._deposit_outstanding():
-                self.terminate(reason="aborted")
+            for escrow in self._deposited:
+                if escrow not in self.refunds_from and self._deposit_outstanding(
+                    escrow
+                ):
+                    return
+            self.terminate(reason="aborted")
 
 
 __all__ = ["WeakCustomer"]

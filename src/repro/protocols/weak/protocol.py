@@ -20,10 +20,10 @@ for customers; the TM's own faults are configured on the backend
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 from ...errors import ProtocolError
-from ..base import PaymentProtocol, register_protocol, require_path
+from ..base import PaymentProtocol, check_supported, register_protocol
 from .customer import WeakCustomer
 from .escrow import WeakEscrow
 from .tm import TMBackend, make_backend
@@ -31,14 +31,24 @@ from .tm import TMBackend, make_backend
 
 @register_protocol
 class WeakLivenessProtocol(PaymentProtocol):
-    """Cross-chain payment with weak liveness guarantees (Definition 2)."""
+    """Cross-chain payment with weak liveness guarantees (Definition 2).
+
+    Graph-native: one escrow automaton per hop edge, customer roles
+    read off in/out degree (sources deposit into every outgoing hop,
+    sinks request commit once every incoming hop is escrowed), and the
+    transaction manager renders one commit/abort decision over the
+    whole DAG from per-edge votes.
+    """
 
     name = "weak"
+    supported_topologies: FrozenSet[str] = frozenset(
+        {"path", "dag", "multi-source"}
+    )
 
     def build(self) -> None:
         env = self.env
         topo = env.topology
-        require_path(topo, self.name)
+        check_supported(topo, type(self))
         self.backend: TMBackend = make_backend(self.option("tm", "trusted"))
         self.backend.build(self)
 
@@ -50,27 +60,28 @@ class WeakLivenessProtocol(PaymentProtocol):
             self.option("patience_overrides", {})
         )
 
-        for i in range(topo.n_escrows):
-            name = topo.escrow(i)
+        sinks = set(topo.sinks())
+        for edge in topo.edges:
             escrow = WeakEscrow(
                 sim=env.sim,
-                name=name,
+                name=edge.escrow,
                 network=env.network,
                 keyring=env.keyring,
-                identity=env.identity_of(name),
-                ledger=env.ledgers[name],
+                identity=env.identity_of(edge.escrow),
+                ledger=env.ledgers[edge.escrow],
                 payment_id=topo.payment_id,
-                upstream=topo.upstream_customer(i),
-                downstream=topo.downstream_customer(i),
-                amount=topo.amount_at(i),
+                upstream=edge.upstream,
+                downstream=edge.downstream,
+                amount=edge.amount,
                 backend=self.backend,
                 listener=self.backend.make_listener(),
-                notify_beneficiary=topo.bob if i == topo.n_escrows - 1 else None,
+                notify_beneficiary=(
+                    edge.downstream if edge.downstream in sinks else None
+                ),
             )
             self.add_participant(escrow)
 
-        for i in range(topo.n_customers):
-            name = topo.customer(i)
+        for name in topo.customers():
             patience = overrides.get(name, default_patience)
             behavior = env.byzantine_behavior(name)
             if behavior is not None and not isinstance(behavior, str):
@@ -78,16 +89,14 @@ class WeakLivenessProtocol(PaymentProtocol):
                     "weak protocol expects string Byzantine behaviours for "
                     f"customers, got {behavior!r} for {name}"
                 )
-            if i == 0:
-                role, deposit_escrow, incoming = "alice", topo.escrow(0), None
-            elif i == topo.n_escrows:
-                role, deposit_escrow, incoming = "bob", None, topo.escrow(i - 1)
+            out_edges = topo.out_edges(name)
+            in_edges = topo.in_edges(name)
+            if not in_edges:
+                role = "alice"
+            elif not out_edges:
+                role = "bob"
             else:
-                role, deposit_escrow, incoming = (
-                    "connector",
-                    topo.escrow(i),
-                    topo.escrow(i - 1),
-                )
+                role = "connector"
             customer = WeakCustomer(
                 sim=env.sim,
                 name=name,
@@ -98,10 +107,11 @@ class WeakLivenessProtocol(PaymentProtocol):
                 role=role,
                 backend=self.backend,
                 listener=self.backend.make_listener(),
-                deposit_escrow=deposit_escrow,
-                deposit_amount=topo.amount_at(i) if deposit_escrow else None,
-                deposit_ledger=env.ledgers[deposit_escrow] if deposit_escrow else None,
-                incoming_escrow=incoming,
+                deposits=[
+                    (edge.escrow, edge.amount, env.ledgers[edge.escrow])
+                    for edge in out_edges
+                ],
+                incoming_escrows=[edge.escrow for edge in in_edges],
                 clock=env.clock_of(name),
                 patience_setup=patience[0],
                 patience_decision=patience[1],

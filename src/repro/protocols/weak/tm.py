@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ...consensus.committee import PaymentNotary, QuorumAssembler
 from ...consensus.dls import NotaryBehavior
@@ -74,8 +74,25 @@ class TMBackend(ABC):
 # ---------------------------------------------------------------------------
 
 
+def as_beneficiaries(beneficiary: Union[str, Sequence[str]]) -> List[str]:
+    """Normalise a TM beneficiary spec to a list of sink names.
+
+    On the Figure-1 path the beneficiary is one customer (Bob); on a
+    payment DAG the TM must hear a commit request from *every* sink
+    before the whole-graph COMMIT can be justified.
+    """
+    if isinstance(beneficiary, str):
+        return [beneficiary]
+    return list(beneficiary)
+
+
 class TrustedPartyProcess(Process):
     """The single-party TM: first satisfied rule wins, decided once.
+
+    One decision covers the whole payment graph: COMMIT needs every
+    escrow's deposit report *and* a commit request from every sink
+    (``beneficiary`` accepts one name or a sequence); the first abort
+    request wins regardless.
 
     ``equivocate=True`` models a *Byzantine* TM that sends commit
     certificates to half the participants and abort certificates to the
@@ -92,7 +109,7 @@ class TrustedPartyProcess(Process):
         identity: Any,
         payment_id: str,
         escrows: List[str],
-        beneficiary: str,
+        beneficiary: Union[str, Sequence[str]],
         participants: List[str],
         equivocate: bool = False,
     ) -> None:
@@ -102,11 +119,11 @@ class TrustedPartyProcess(Process):
         self.identity = identity
         self.payment_id = payment_id
         self.escrows = list(escrows)
-        self.beneficiary = beneficiary
+        self.beneficiaries = as_beneficiaries(beneficiary)
         self.participants = list(participants)
         self.equivocate = equivocate
         self.reported: set = set()
-        self.commit_requested = False
+        self.commit_requested: set = set()
         self.decision: Optional[Decision] = None
 
     def handle_message(self, message: Envelope) -> None:
@@ -121,16 +138,16 @@ class TrustedPartyProcess(Process):
             self.reported.add(message.sender)
         elif (
             message.kind is MsgKind.COMMIT_REQUEST
-            and message.sender == self.beneficiary
+            and message.sender in self.beneficiaries
         ):
-            self.commit_requested = True
+            self.commit_requested.add(message.sender)
         elif message.kind is MsgKind.ABORT_REQUEST:
             if self.decision is None:
                 self._decide(Decision.ABORT)
             return
         if (
             self.decision is None
-            and self.commit_requested
+            and len(self.commit_requested) == len(self.beneficiaries)
             and len(self.reported) == len(self.escrows)
         ):
             self._decide(Decision.COMMIT)
@@ -199,7 +216,7 @@ class TrustedPartyBackend(TMBackend):
             identity=env.identity_of(self.tm_name),
             payment_id=topo.payment_id,
             escrows=topo.escrows(),
-            beneficiary=topo.bob,
+            beneficiary=topo.sinks(),
             participants=topo.participants(),
             equivocate=self.equivocate,
         )
@@ -304,7 +321,7 @@ class ContractBackend(TMBackend):
                 address=self.contract_address,
                 payment_id=topo.payment_id,
                 escrows=topo.escrows(),
-                beneficiary=topo.bob,
+                beneficiary=topo.sinks(),
             )
         )
         agent = ContractTMAgent(
@@ -409,7 +426,7 @@ class CommitteeBackend(TMBackend):
                 round_duration=self.round_duration,
                 behavior=self.byzantine.get(i),
                 escrows=topo.escrows(),
-                beneficiary=topo.bob,
+                beneficiary=topo.sinks(),
             )
             protocol.add_infrastructure(notary)
 

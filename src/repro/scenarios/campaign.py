@@ -60,7 +60,9 @@ def _check_fraction(records, key):
 
 
 def aggregate_campaign(
-    sweep: SweepResult, skip_errors: bool = False
+    sweep: SweepResult,
+    skip_errors: bool = False,
+    skipped: Sequence[Tuple[str, str, str]] = (),
 ) -> ExperimentResult:
     """Reduce campaign records to the (protocol × timing × adversary) table.
 
@@ -72,6 +74,12 @@ def aggregate_campaign(
     still renders (``runs=0``, stats ``-``) rather than vanishing.
     This is the recovery path for a persisted campaign too expensive
     to re-run (``--from DIR --skip-errors``).
+
+    ``skipped`` carries the (protocol, topology, reason) combinations
+    the campaign never compiled
+    (:meth:`~repro.scenarios.spec.CampaignSpec.unsupported_cells`);
+    each renders as a table note, so a matrix mixing path-only
+    protocols with DAG topologies says which cells are absent and why.
     """
     result = ExperimentResult(
         exp_id=sweep.sweep_id.upper(),
@@ -171,6 +179,8 @@ def aggregate_campaign(
         "def1_ok/def2_ok: share of runs satisfying the protocol's own "
         "definition ('-' = not this protocol's contract)."
     )
+    for protocol, topology, reason in skipped:
+        result.note(f"skipped {protocol} x {topology}: {reason}")
     return result
 
 
@@ -179,7 +189,10 @@ def run_campaign(
     executor: Union[Executor, int, None] = None,
 ) -> ExperimentResult:
     """Compile, execute, and aggregate a campaign in one call."""
-    return aggregate_campaign(resolve_executor(executor).run(campaign.compile()))
+    return aggregate_campaign(
+        resolve_executor(executor).run(campaign.compile()),
+        skipped=campaign.unsupported_cells(),
+    )
 
 
 def load_campaign(

@@ -433,7 +433,11 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
             scan.records, sweep_result, sweep.sweep_id, jobs=jobs
         )
     try:
-        result = aggregate_campaign(sweep_result, skip_errors=args.skip_errors)
+        result = aggregate_campaign(
+            sweep_result,
+            skip_errors=args.skip_errors,
+            skipped=campaign.unsupported_cells(),
+        )
     except TrialError as exc:
         parser.error(
             f"{exc}\n({_trial_error_hint(args.skip_errors, args.out)})"

@@ -33,7 +33,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..core.topology import HopEdge, PaymentGraph, PaymentTopology
 from ..errors import ScenarioError
@@ -196,6 +196,33 @@ def _make_bob_edge(topology: Optional[PaymentGraph] = None) -> Adversary:
     return EdgeDelayAdversary(links, delay=HOLD)
 
 
+def _make_branch_holder(topology: Optional[PaymentGraph] = None) -> Adversary:
+    """Hold all traffic on one branch of the first fan-out node (its last outgoing hop): the scheduling attack that forces mixed per-hop outcomes."""
+    if topology is None:
+        raise ScenarioError(
+            "adversary 'branch-holder' targets one branch of a fan-out "
+            "node and needs the topology: "
+            "make_adversary('branch-holder', topology)"
+        )
+    victim = None
+    for name in topology.customers():
+        outs = topology.out_edges(name)
+        if len(outs) >= 2:
+            victim = outs[-1]
+            break
+    if victim is None:
+        # Path fallback: no branching node, so starve the last hop (the
+        # recipient's edge) — the degenerate one-branch fan-out.
+        victim = topology.edges[-1]
+    links = [
+        (victim.upstream, victim.escrow),
+        (victim.escrow, victim.upstream),
+        (victim.escrow, victim.downstream),
+        (victim.downstream, victim.escrow),
+    ]
+    return EdgeDelayAdversary(links, delay=HOLD)
+
+
 #: name -> factory, called inside the trial process with the topology.
 ADVERSARIES: Dict[str, AdversaryFactory] = {
     "none": _make_none,
@@ -206,6 +233,7 @@ ADVERSARIES: Dict[str, AdversaryFactory] = {
     "decision-holder": _make_decision_holder,
     "alice-edge": _make_alice_edge,
     "bob-edge": _make_bob_edge,
+    "branch-holder": _make_branch_holder,
 }
 
 
@@ -324,6 +352,46 @@ def _topology_hub(n: int, payment_id: str) -> PaymentGraph:
     return PaymentGraph(edges=tuple(edges), payment_id=payment_id)
 
 
+def _topology_fanin(n: int, payment_id: str) -> PaymentGraph:
+    """Fan-in of N payers (crowdfunding): N independent sources each fund their own escrow toward one shared recipient, paying 100 apiece."""
+    # Customer naming keeps the c<i>/e<j> O(1) index parsing: the first
+    # edge introduces c0 (payer) and c1 (the shared recipient), every
+    # further payer continues the numbering at c2, c3, ...
+    edges = [
+        HopEdge(
+            upstream="c0", escrow="e0", downstream="c1",
+            amount=Amount("X", 100),
+        )
+    ]
+    for payer in range(1, n):
+        edges.append(
+            HopEdge(
+                upstream=f"c{payer + 1}",
+                escrow=f"e{payer}",
+                downstream="c1",
+                amount=Amount("X", 100),
+            )
+        )
+    graph = PaymentGraph(edges=tuple(edges), payment_id=payment_id)
+    # Funding conservation: with no connectors there are no commissions,
+    # so everything the payers put up must be exactly what the recipient
+    # collects.  A mismatch means the builder produced a graph whose
+    # funding plan would mint or burn value — fail loudly here rather
+    # than as a ledger-audit mystery inside a trial.
+    funded = sum(
+        amount.units
+        for entries in graph.funding_plan().values()
+        for _, amount in entries
+    )
+    collected = sum(edge.amount.units for edge in graph.in_edges("c1"))
+    if funded != collected:
+        raise ScenarioError(
+            f"fan-in-{n} builder broke funding conservation: payers fund "
+            f"{funded} but the recipient collects {collected}"
+        )
+    return graph
+
+
 #: kind -> builder(n, payment_id); names resolve as ``kind-N``.
 TOPOLOGY_BUILDERS: Dict[str, Callable[[int, str], PaymentGraph]] = {
     "linear": _topology_linear,
@@ -331,6 +399,7 @@ TOPOLOGY_BUILDERS: Dict[str, Callable[[int, str], PaymentGraph]] = {
     "geom": _topology_geom,
     "tree": _topology_tree,
     "hub": _topology_hub,
+    "fan-in": _topology_fanin,
 }
 
 
@@ -340,7 +409,9 @@ def check_topology(name: str) -> Tuple[str, int]:
     Returns the parsed ``(kind, n)`` pair; used by compile-time
     validation, which must stay O(1) per cell whatever N is.
     """
-    kind, _, size = name.partition("-")
+    # Split on the *last* dash: topology kinds may themselves contain
+    # dashes ("fan-in-3" is kind "fan-in", size 3).
+    kind, _, size = name.rpartition("-")
     try:
         n = int(size)
     except ValueError:
@@ -363,6 +434,28 @@ def check_topology(name: str) -> Tuple[str, int]:
     return kind, n
 
 
+#: Topology kinds whose every instance is a Figure 1 path.
+_PATH_KINDS = frozenset({"linear", "multiasset", "geom"})
+
+
+def topology_shape_traits(name: str) -> FrozenSet[str]:
+    """Shape traits of a ``kind-N`` name without building it: O(1).
+
+    Returns the same trait vocabulary as
+    :func:`repro.protocols.base.topology_traits` (``"path"`` / ``"dag"``
+    / ``"multi-source"``), derived from the kind and size alone so
+    campaign compilation can match cells against protocol capabilities
+    before any graph is materialised.
+    """
+    kind, n = check_topology(name)
+    if kind in _PATH_KINDS or (kind in ("hub", "fan-in") and n == 1):
+        # hub-1 and fan-in-1 degenerate to one- / two-hop paths.
+        return frozenset({"path"})
+    if kind == "fan-in":
+        return frozenset({"dag", "multi-source"})
+    return frozenset({"dag"})
+
+
 def build_topology(name: str, payment_id: str = "payment") -> PaymentGraph:
     """Build the payment topology named by ``name``.
 
@@ -376,7 +469,9 @@ def build_topology(name: str, payment_id: str = "payment") -> PaymentGraph:
     * ``tree-N`` — a binary payment tree of depth ``N``: Alice at the
       root pays ``2^N`` recipients;
     * ``hub-N`` — hub-and-spoke: one central escrow funds a hub
-      connector fanning out over ``N`` spokes to ``N`` recipients.
+      connector fanning out over ``N`` spokes to ``N`` recipients;
+    * ``fan-in-N`` — ``N`` independent payers each fund their own
+      escrow toward one shared recipient (the multi-source shape).
     """
     kind, n = check_topology(name)
     return TOPOLOGY_BUILDERS[kind](n, payment_id)
@@ -521,4 +616,5 @@ __all__ = [
     "make_adversary",
     "protocol_defaults",
     "timing_descriptor",
+    "topology_shape_traits",
 ]

@@ -14,15 +14,19 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple,
+)
 
-from ..errors import ScenarioError
+from ..errors import ProtocolError, ScenarioError
+from ..protocols.base import protocol_capabilities
 from ..runtime import SweepSpec
 from .registry import (
     check_adversary,
     check_topology,
     protocol_defaults,
     timing_descriptor,
+    topology_shape_traits,
 )
 
 #: Axes whose values are registry names, in declared (cross-product) order.
@@ -31,6 +35,29 @@ NAME_AXES = ("protocols", "timings", "adversaries", "topologies")
 #: Trial-function reference shared by every campaign cell (module-level
 #: so worker processes can resolve it under any start method).
 TRIAL_REF = "repro.scenarios.trial:scenario_trial"
+
+
+def unsupported_reason(protocol: str, topology: str) -> Optional[str]:
+    """Why ``protocol`` cannot run on ``topology``, or ``None`` if it can.
+
+    Matches the topology name's shape traits (O(1), no graph is built)
+    against the protocol's declared
+    :attr:`~repro.protocols.base.PaymentProtocol.supported_topologies`.
+    Unknown names return ``None`` — the regular axis validation owns
+    those errors and their messages.
+    """
+    try:
+        supported = protocol_capabilities(protocol)
+        traits = topology_shape_traits(topology)
+    except (ProtocolError, ScenarioError):
+        return None
+    missing = sorted(traits - supported)
+    if not missing:
+        return None
+    return (
+        f"topology {topology!r} demands {missing} but protocol "
+        f"{protocol!r} only supports {sorted(supported)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -132,6 +159,13 @@ class CampaignSpec:
     merged over the protocol's campaign defaults for every cell of
     that protocol.  Overrides land in each trial's persisted options,
     so ``--resume``'s option-mismatch check covers them.
+
+    Protocol × topology combinations the protocol declares itself
+    incapable of (see
+    :attr:`~repro.protocols.base.PaymentProtocol.supported_topologies`)
+    are skipped with a reason (:meth:`unsupported_cells`) instead of
+    failing the campaign; ``len()`` and :meth:`compile` count only the
+    cells that actually run.
     """
 
     protocols: Sequence[str]
@@ -209,20 +243,62 @@ class CampaignSpec:
     def _horizon_values(self) -> Sequence[Optional[float]]:
         return self.horizons if self.horizons is not None else (self.horizon,)
 
+    def unsupported_cells(self) -> List[Tuple[str, str, str]]:
+        """(protocol, topology, reason) combinations the campaign skips.
+
+        A protocol that does not support a topology's shape (a path-only
+        protocol on the matrix together with a DAG topology) is *skipped
+        with a reason* rather than failing the whole campaign: the
+        skipped combinations never compile to trials, and
+        :func:`~repro.scenarios.campaign.aggregate_campaign` reports
+        each one as a table note.
+        """
+        return [
+            (protocol, topology, reason)
+            for protocol in self.protocols
+            for topology in self.topologies
+            for reason in (unsupported_reason(protocol, topology),)
+            if reason is not None
+        ]
+
+    def _skipped_pairs(self) -> Set[Tuple[str, str]]:
+        return {
+            (protocol, topology)
+            for protocol, topology, _ in self.unsupported_cells()
+        }
+
     def __len__(self) -> int:
-        """Total trial count across all cells."""
+        """Total trial count across all compiled (non-skipped) cells."""
+        pairs = (
+            len(self.protocols) * len(self.topologies)
+            - len(self._skipped_pairs())
+        )
         return (
-            len(self.protocols)
+            pairs
             * len(self.timings)
             * len(self.adversaries)
-            * len(self.topologies)
             * len(self._rho_values())
             * len(self._horizon_values())
             * self.trials
         )
 
     def scenarios(self) -> Iterator[ScenarioSpec]:
-        """The matrix cells, validated, in declared axis order."""
+        """The matrix cells, validated, in declared axis order.
+
+        Protocol × topology combinations listed by
+        :meth:`unsupported_cells` are omitted; if *every* combination is
+        unsupported the campaign would silently compile to zero trials,
+        so that raises instead.
+        """
+        skipped = self._skipped_pairs()
+        if len(skipped) == len(self.protocols) * len(self.topologies):
+            reasons = "; ".join(
+                reason for _, _, reason in self.unsupported_cells()
+            )
+            raise ScenarioError(
+                f"every protocol x topology combination is unsupported, "
+                f"nothing to run: {reasons}"
+            )
         for protocol, timing, adversary, topology, rho, horizon in (
             itertools.product(
                 self.protocols,
@@ -233,6 +309,8 @@ class CampaignSpec:
                 self._horizon_values(),
             )
         ):
+            if (protocol, topology) in skipped:
+                continue
             yield ScenarioSpec(
                 protocol=protocol,
                 timing=timing,
@@ -273,4 +351,10 @@ class CampaignSpec:
         return sweep
 
 
-__all__ = ["CampaignSpec", "NAME_AXES", "ScenarioSpec", "TRIAL_REF"]
+__all__ = [
+    "CampaignSpec",
+    "NAME_AXES",
+    "ScenarioSpec",
+    "TRIAL_REF",
+    "unsupported_reason",
+]

@@ -9,11 +9,12 @@ compare the serialized bytes exactly, so any optimization that changes
 event ordering, trace content, record values, or seed derivation fails
 loudly.
 
-The fixture matrix keeps graph topologies (``tree-2`` / ``hub-3``)
-under the ``timebounded`` protocol only: the other protocols reject
-non-path topologies with *error* records whose embedded tracebacks
-carry line numbers, which would pin the fixture to source positions
-instead of behaviour.
+The fixture matrix pins graph topologies (``tree-2`` / ``hub-3`` /
+``fan-in-3``) under **all four** protocols: weak, certified, and HTLC
+are graph-native since the PR 7 port, so their DAG cells are part of
+the determinism contract exactly like the path cells.  The path cells
+themselves predate the port — their lines double as the proof that the
+port left path behaviour byte-identical.
 
 Trace bytes embed ``msg_id`` values drawn from a process-global
 counter, so the trace document is only reproducible from a *fresh*
@@ -78,7 +79,33 @@ def _golden_sweep():
         seed=7,
         campaign_id="golden",
     )
-    return shapes.compile().extend(protocols.compile())
+    # Appended (not merged into the specs above) so the pre-port
+    # fixture lines stay a byte-identical prefix: the graph cells of
+    # the ported protocols, plus the multi-source shape for all four.
+    graphs = CampaignSpec(
+        protocols=["htlc", "weak", "certified"],
+        timings=["sync"],
+        adversaries=["none"],
+        topologies=["tree-2", "hub-3", "fan-in-3"],
+        trials=2,
+        seed=7,
+        campaign_id="golden",
+    )
+    fanin = CampaignSpec(
+        protocols=["timebounded"],
+        timings=["sync"],
+        adversaries=["none"],
+        topologies=["fan-in-3"],
+        trials=2,
+        seed=7,
+        campaign_id="golden",
+    )
+    return (
+        shapes.compile()
+        .extend(protocols.compile())
+        .extend(graphs.compile())
+        .extend(fanin.compile())
+    )
 
 
 def _record_lines() -> List[str]:

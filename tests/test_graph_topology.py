@@ -262,12 +262,56 @@ class TestGraphCampaignAxes:
         record = scenario_trial(next(iter(spec.compile())))
         assert record["leaves"] == 4 and record["depth"] == 2
 
-    def test_path_protocols_reject_graph_topologies(self):
-        spec = CampaignSpec(
-            protocols=["weak"], timings=["sync"], topologies=["hub-2"], trials=1
-        )
-        with pytest.raises(ProtocolError, match="path topologies only"):
-            scenario_trial(next(iter(spec.compile())))
+    def test_every_protocol_runs_graph_topologies(self):
+        # PR 7: weak/certified/htlc are graph-native — the cells that
+        # used to raise "path topologies only" now run end to end.
+        for protocol in ("weak", "certified", "htlc"):
+            spec = CampaignSpec(
+                protocols=[protocol], timings=["sync"],
+                topologies=["hub-2"], trials=1,
+            )
+            record = scenario_trial(next(iter(spec.compile())))
+            assert record["bob_paid"] and record["all_terminated"]
+
+    def test_unsupported_cells_skip_with_reason(self):
+        from repro.protocols.base import PaymentProtocol, _REGISTRY, register_protocol
+        from repro.scenarios.registry import PROTOCOLS, ProtocolDefaults
+
+        @register_protocol
+        class _PathOnly(PaymentProtocol):
+            name = "pathonly-test"
+
+            def build(self):
+                raise AssertionError("skipped cells must never build")
+
+        PROTOCOLS["pathonly-test"] = ProtocolDefaults(doc="path-only dummy")
+        try:
+            spec = CampaignSpec(
+                protocols=["pathonly-test", "weak"], timings=["sync"],
+                topologies=["hub-2", "linear-2"], trials=1,
+            )
+            assert spec.unsupported_cells() == [(
+                "pathonly-test", "hub-2",
+                "topology 'hub-2' demands ['dag'] but protocol "
+                "'pathonly-test' only supports ['path']",
+            )]
+            sweep = spec.compile()
+            # The skipped combination never compiles, and len(spec)
+            # agrees with the compiled trial count.
+            assert len(sweep) == len(spec) == 3
+            assert all(
+                (t.opt("protocol"), t.opt("topology")) != ("pathonly-test", "hub-2")
+                for t in sweep
+            )
+            # All combinations unsupported -> loud error, not 0 trials.
+            with pytest.raises(ScenarioError, match="unsupported"):
+                CampaignSpec(
+                    protocols=["pathonly-test"], timings=["sync"],
+                    topologies=["hub-2"], trials=1,
+                ).compile()
+        finally:
+            del _REGISTRY["pathonly-test"]
+            del PROTOCOLS["pathonly-test"]
 
     def test_decision_holder_targets_graph_sinks(self):
         g = _hub(2)

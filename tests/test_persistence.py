@@ -503,7 +503,7 @@ class TestCampaignReaggregation:
         import repro.scenarios.cli as cli_mod
         from repro.runtime import TrialError
 
-        def explode(sweep_result, skip_errors=False):
+        def explode(sweep_result, skip_errors=False, skipped=()):
             raise TrialError("1/4 trials of sweep 'campaign' failed")
 
         monkeypatch.setattr(cli_mod, "aggregate_campaign", explode)

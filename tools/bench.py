@@ -8,10 +8,13 @@ layers and reports one *rate* metric per stage:
   ``Simulator`` run loop) and full network-stack round trips;
 * ``campaign`` — a serial four-protocol scenario matrix end to end
   (trial assembly + simulation + property columns);
+* ``graph``    — the same four protocols on DAG topologies
+  (``tree-2`` / ``hub-3`` / ``fan-in-3``): fan-out/fan-in automata,
+  per-escrow graph windows, per-sink hashlocks;
 * ``analyze``  — synthetic-record persistence round trip plus a
   grouped percentile query over the analysis store.
 
-The result is a *trajectory point*: a JSON document (``BENCH_6.json``
+The result is a *trajectory point*: a JSON document (``BENCH_7.json``
 at the repo root is the committed baseline) recording the metrics
 together with the git revision and host fingerprint.  ``--check``
 re-measures and compares the fresh **rate** metrics against the
@@ -25,11 +28,11 @@ wall time measures whoever else shares the runner.
 Usage::
 
     PYTHONPATH=src python tools/bench.py                  # measure, print
-    PYTHONPATH=src python tools/bench.py --out BENCH_6.json
+    PYTHONPATH=src python tools/bench.py --out BENCH_7.json
     PYTHONPATH=src python tools/bench.py --check          # CI gate
     PYTHONPATH=src python tools/bench.py --check --tolerance 4
     PYTHONPATH=src python tools/bench.py --suites kernel --repeat 5
-    PYTHONPATH=src python tools/bench.py --out BENCH_6.json \
+    PYTHONPATH=src python tools/bench.py --out BENCH_7.json \
         --before /tmp/bench_before.json   # embed pre-optimization point
 
 ``--before FILE`` embeds an earlier trajectory point (same schema)
@@ -59,7 +62,7 @@ for entry in (ROOT / "src", ROOT / "benchmarks"):
 SCHEMA = 1
 
 #: The committed baseline this repo's CI gates against.
-DEFAULT_BASELINE = ROOT / "BENCH_6.json"
+DEFAULT_BASELINE = ROOT / "BENCH_7.json"
 
 #: Gate metrics per suite: size-independent rates (higher = better).
 #: ``--check`` compares exactly these; wall-clock seconds are
@@ -67,6 +70,7 @@ DEFAULT_BASELINE = ROOT / "BENCH_6.json"
 GATE_METRICS: Dict[str, tuple] = {
     "kernel": ("events_per_sec", "deliveries_per_sec"),
     "campaign": ("trials_per_sec",),
+    "graph": ("trials_per_sec",),
     "analyze": ("rows_per_sec",),
 }
 
@@ -183,6 +187,40 @@ def bench_campaign(quick: bool, repeat: int) -> Dict[str, Any]:
     }
 
 
+def bench_graph(quick: bool, repeat: int) -> Dict[str, Any]:
+    """Serial DAG-topology matrix rate (graph suite).
+
+    All four protocols over ``tree-2`` / ``hub-3`` / ``fan-in-3``:
+    exercises the fan-out/fan-in customer automata, the per-escrow
+    graph window calculus (including the multi-source skew), per-sink
+    hashlocks, and the TM's one-decision-over-the-DAG collection —
+    none of which the path-only ``campaign`` suite touches.
+    """
+    from repro.runtime import SerialExecutor
+    from repro.scenarios import CampaignSpec
+
+    sweep = CampaignSpec(
+        protocols=["htlc", "timebounded", "weak", "certified"],
+        timings=["sync", "partial"],
+        adversaries=["none", "branch-holder"],
+        topologies=["tree-2", "hub-3", "fan-in-3"],
+        trials=1 if quick else 3,
+        campaign_id="bench-graph",
+    ).compile()
+
+    def run_matrix() -> None:
+        result = SerialExecutor().run(sweep)
+        assert len(result.records) == len(sweep)
+
+    timing = _best(run_matrix, repeat)
+    return {
+        "trials": len(sweep),
+        "trials_per_sec": len(sweep) / timing["cpu"],
+        "cpu_seconds": timing["cpu"],
+        "wall_seconds": timing["wall"],
+    }
+
+
 def bench_analyze(quick: bool, repeat: int) -> Dict[str, Any]:
     """Persistence + store + grouped query rate (bench_analyze suite)."""
     from bench_analyze import _grouped_query, synthetic_records
@@ -216,6 +254,7 @@ def bench_analyze(quick: bool, repeat: int) -> Dict[str, Any]:
 SUITES: Dict[str, Callable[[bool, int], Dict[str, Any]]] = {
     "kernel": bench_kernel,
     "campaign": bench_campaign,
+    "graph": bench_graph,
     "analyze": bench_analyze,
 }
 
@@ -242,7 +281,7 @@ def measure(
     """Run the named suites and assemble one trajectory point."""
     point: Dict[str, Any] = {
         "schema": SCHEMA,
-        "issue": 6,
+        "issue": 7,
         "git_rev": _git_rev(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -374,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         metavar="FILE",
         default=str(DEFAULT_BASELINE),
-        help="baseline trajectory point for --check (default: BENCH_6.json)",
+        help="baseline trajectory point for --check (default: BENCH_7.json)",
     )
     parser.add_argument(
         "--tolerance",
