@@ -11,6 +11,9 @@ Usage::
                                        # (see repro.scenarios.cli)
     python -m repro analyze DIR ...    # slice persisted campaign records
                                        # (see repro.analysis.cli)
+    python -m repro workload ...       # concurrent payments on a shared
+                                       # liquidity substrate
+                                       # (see repro.workload.cli)
 
 Every experiment is a declarative sweep (see :mod:`repro.runtime`):
 trials are pure functions of their spec, so ``--jobs N`` runs them on a
@@ -44,6 +47,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .analysis.cli import analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "workload":
+        # Concurrent multi-payment workloads on a shared liquidity
+        # substrate (see repro.workload.cli).
+        from .workload.cli import workload_main
+
+        return workload_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

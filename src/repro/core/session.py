@@ -36,8 +36,15 @@ from ..net.adversary import Adversary
 from ..net.network import Network
 from ..net.timing import TimingModel
 from ..sim.kernel import Simulator
+from ..sim.view import SessionView
 from .outcomes import BalanceSnapshot, PaymentOutcome, snapshot_balances
 from .topology import PaymentGraph
+
+#: A funding hook: given the topology and the freshly created (empty)
+#: per-escrow ledgers, put the initial value on the books.  The default
+#: mints each edge's funding grant out of thin air; a workload instead
+#: draws the grants from a shared liquidity substrate.
+FundingHook = Callable[[PaymentGraph, Dict[str, Ledger]], None]
 
 
 @dataclass
@@ -116,6 +123,18 @@ class PaymentSession:
         :data:`~repro.sim.trace.CHECKER_KINDS` because their record
         columns consume nothing else; keep the default wherever the
         trace itself is inspected.
+    sim:
+        Optional externally owned simulator (or
+        :class:`~repro.sim.view.SessionView` onto a shared one).  When
+        given, the session builds its world on it instead of creating a
+        private :class:`Simulator` — this is how a workload runs many
+        sessions on one kernel.  The caller then drives the kernel
+        itself (``launch()`` / ``collect()``); ``run()`` remains the
+        solo path.
+    funding:
+        Optional hook replacing the default mint-per-funding-grant
+        setup (see :data:`FundingHook`); a workload uses it to draw
+        each payment's funding from the shared liquidity substrate.
     """
 
     DEFAULT_HORIZON = 1_000_000.0
@@ -134,6 +153,8 @@ class PaymentSession:
         horizon: Optional[float] = None,
         protocol_options: Optional[Dict[str, Any]] = None,
         trace_kinds: Optional[Any] = None,
+        sim: Optional[Union[Simulator, SessionView]] = None,
+        funding: Optional[FundingHook] = None,
     ) -> None:
         self.topology = topology
         self.protocol_ref = protocol
@@ -147,7 +168,9 @@ class PaymentSession:
         self.horizon = horizon if horizon is not None else self.DEFAULT_HORIZON
         self.protocol_options = dict(protocol_options or {})
         self.trace_kinds = frozenset(trace_kinds) if trace_kinds is not None else None
-        # Populated by run():
+        self.sim_override = sim
+        self.funding = funding
+        # Populated by launch()/run():
         self.env: Optional[PaymentEnv] = None
         self.protocol_instance: Any = None
         self.initial_balances: Optional[BalanceSnapshot] = None
@@ -155,7 +178,9 @@ class PaymentSession:
     # -- world construction -------------------------------------------------
 
     def _build_env(self) -> PaymentEnv:
-        if self.trace_kinds is not None:
+        if self.sim_override is not None:
+            sim = self.sim_override
+        elif self.trace_kinds is not None:
             from ..sim.trace import TraceRecorder
 
             sim = Simulator(seed=self.seed, trace=TraceRecorder(keep=self.trace_kinds))
@@ -169,9 +194,12 @@ class PaymentSession:
             ledger.open_account(edge.upstream)
             ledger.open_account(edge.downstream)
             ledgers[edge.escrow] = ledger
-        for escrow, grants in self.topology.funding_plan().items():
-            for customer, amt in grants:
-                ledgers[escrow].mint(customer, amt)
+        if self.funding is not None:
+            self.funding(self.topology, ledgers)
+        else:
+            for escrow, grants in self.topology.funding_plan().items():
+                for customer, amt in grants:
+                    ledgers[escrow].mint(customer, amt)
         clocks: Dict[str, DriftingClock] = {}
         for name in self.topology.participants():
             if name in self.clock_overrides:
@@ -211,8 +239,14 @@ class PaymentSession:
 
     # -- running ------------------------------------------------------------------
 
-    def run(self) -> PaymentOutcome:
-        """Execute the payment and return its outcome."""
+    def launch(self) -> list:
+        """Build the world, build the protocol, and start it.
+
+        No events have been executed when this returns — the protocol's
+        initial events sit in the (possibly shared) kernel's queue.
+        Returns the protocol's participant processes, which the caller
+        watches for termination (``Process.terminated`` is monotone).
+        """
         env = self._build_env()
         self.env = env
         protocol = self._resolve_protocol(env)
@@ -220,10 +254,53 @@ class PaymentSession:
         protocol.build()
         self.initial_balances = snapshot_balances(env.ledgers, self.topology)
         protocol.start()
-
         participants = list(protocol.processes.values())
         if not participants:
             raise ProtocolError(f"protocol {protocol.name!r} built no participants")
+        return participants
+
+    def collect(
+        self,
+        end_time: Optional[float] = None,
+        events_executed: Optional[int] = None,
+    ) -> PaymentOutcome:
+        """Assemble the outcome from the session's current state.
+
+        ``run()`` calls this with the defaults (the kernel's clock and
+        event counter).  A workload passes explicit per-session values,
+        because on a shared kernel the global clock/counter also moves
+        for sibling payments.
+        """
+        env = self.env
+        if env is None:
+            raise ProtocolError("collect() before launch()")
+        protocol = self.protocol_instance
+        honest = {
+            name: name not in self.byzantine
+            for name in self.topology.participants()
+        }
+        return PaymentOutcome.collect(
+            payment_id=self.topology.payment_id,
+            protocol=protocol.name,
+            topology=self.topology,
+            honest=honest,
+            initial_balances=self.initial_balances,
+            ledgers=env.ledgers,
+            trace=env.sim.trace,
+            end_time=end_time if end_time is not None else env.sim.now,
+            messages_sent=env.network.stats.sent,
+            messages_delivered=env.network.stats.delivered,
+            events_executed=(
+                events_executed
+                if events_executed is not None
+                else env.sim.executed_events
+            ),
+        )
+
+    def run(self) -> PaymentOutcome:
+        """Execute the payment and return its outcome (solo kernel)."""
+        participants = self.launch()
+        env = self.env
         # Amortized termination check: `Process.terminated` is monotone
         # (it never flips back), so popping finished participants off a
         # pending list makes the per-event stop check O(1) amortized
@@ -237,24 +314,7 @@ class PaymentSession:
 
         env.sim.add_stop_condition(all_terminated)
         env.sim.run(until=self.horizon)
-
-        honest = {
-            name: name not in self.byzantine
-            for name in self.topology.participants()
-        }
-        return PaymentOutcome.collect(
-            payment_id=self.topology.payment_id,
-            protocol=protocol.name,
-            topology=self.topology,
-            honest=honest,
-            initial_balances=self.initial_balances,
-            ledgers=env.ledgers,
-            trace=env.sim.trace,
-            end_time=env.sim.now,
-            messages_sent=env.network.stats.sent,
-            messages_delivered=env.network.stats.delivered,
-            events_executed=env.sim.executed_events,
-        )
+        return self.collect()
 
 
-__all__ = ["PaymentEnv", "PaymentSession"]
+__all__ = ["FundingHook", "PaymentEnv", "PaymentSession"]

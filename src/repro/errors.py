@@ -110,3 +110,7 @@ class ScenarioError(ExperimentError):
 
 class PersistenceError(ExperimentError):
     """A persisted sweep directory is missing, malformed, or mismatched."""
+
+
+class WorkloadError(ExperimentError):
+    """A workload spec is invalid or a workload invariant was violated."""

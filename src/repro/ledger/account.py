@@ -1,4 +1,22 @@
-"""Accounts: named multi-asset balances with a non-negativity invariant."""
+"""Accounts: named multi-asset balances with a non-negativity invariant.
+
+Each account keeps two per-asset columns:
+
+* the **available** balance — value the owner can spend right now
+  (this is what :meth:`Account.balance` and :meth:`Account.snapshot`
+  report, so every pre-existing reader sees exactly the spendable
+  funds it always saw);
+* the **reserved** balance — value committed to an escrow lock or a
+  pending admission but not yet settled away.
+
+``reserve`` moves available → reserved, ``release`` moves it back, and
+``settle`` consumes reserved value for good (the counterpart credit
+happens at the beneficiary).  All three raise and leave the account
+unchanged when the source column cannot cover the amount — which is
+what makes double-spending a reservation structurally impossible: the
+second settle/release of the same reserve finds the reserved column
+short and fails loudly.
+"""
 
 from __future__ import annotations
 
@@ -21,23 +39,28 @@ class Account:
             raise LedgerError("account owner must be non-empty")
         self.owner = owner
         self._balances: Dict[str, int] = {}
+        self._reserved: Dict[str, int] = {}
 
     def balance(self, asset: str) -> Amount:
-        """Current balance in ``asset`` (zero if never touched)."""
+        """Current *available* balance in ``asset`` (zero if never touched)."""
         return Amount(asset, self._balances.get(asset, 0))
 
+    def reserved(self, asset: str) -> Amount:
+        """Value currently reserved (escrowed / admission-held) in ``asset``."""
+        return Amount(asset, self._reserved.get(asset, 0))
+
     def assets(self) -> List[str]:
-        """Sorted list of assets with non-zero balance."""
+        """Sorted list of assets with non-zero available balance."""
         return sorted(a for a, u in self._balances.items() if u != 0)
 
     def credit(self, amt: Amount) -> None:
-        """Add ``amt`` to the balance."""
+        """Add ``amt`` to the available balance."""
         if amt.units < 0:
             raise LedgerError(f"cannot credit negative amount {amt!r}")
         self._balances[amt.asset] = self._balances.get(amt.asset, 0) + amt.units
 
     def debit(self, amt: Amount) -> None:
-        """Remove ``amt`` from the balance.
+        """Remove ``amt`` from the available balance.
 
         Raises
         ------
@@ -53,15 +76,87 @@ class Account:
             )
         self._balances[amt.asset] = held - amt.units
 
+    # -- reservations -------------------------------------------------------
+
+    def reserve(self, amt: Amount) -> None:
+        """Move ``amt`` from available to reserved.
+
+        Raises
+        ------
+        InsufficientFunds
+            If the available balance cannot cover ``amt``; the account
+            is unchanged.
+        """
+        if amt.units < 0:
+            raise LedgerError(f"cannot reserve negative amount {amt!r}")
+        held = self._balances.get(amt.asset, 0)
+        if held < amt.units:
+            raise InsufficientFunds(
+                f"{self.owner!r} holds {held} {amt.asset}, "
+                f"cannot reserve {amt.units}"
+            )
+        self._balances[amt.asset] = held - amt.units
+        self._reserved[amt.asset] = self._reserved.get(amt.asset, 0) + amt.units
+
+    def release(self, amt: Amount) -> None:
+        """Move ``amt`` from reserved back to available.
+
+        Raises
+        ------
+        InsufficientFunds
+            If less than ``amt`` is reserved; the account is unchanged.
+        """
+        if amt.units < 0:
+            raise LedgerError(f"cannot release negative amount {amt!r}")
+        held = self._reserved.get(amt.asset, 0)
+        if held < amt.units:
+            raise InsufficientFunds(
+                f"{self.owner!r} has {held} {amt.asset} reserved, "
+                f"cannot release {amt.units}"
+            )
+        self._reserved[amt.asset] = held - amt.units
+        self._balances[amt.asset] = self._balances.get(amt.asset, 0) + amt.units
+
+    def settle(self, amt: Amount) -> None:
+        """Consume ``amt`` of reserved value for good.
+
+        The counterpart credit (to a beneficiary, or to another ledger's
+        books) is the caller's responsibility; this method only retires
+        the reservation.
+
+        Raises
+        ------
+        InsufficientFunds
+            If less than ``amt`` is reserved; the account is unchanged.
+        """
+        if amt.units < 0:
+            raise LedgerError(f"cannot settle negative amount {amt!r}")
+        held = self._reserved.get(amt.asset, 0)
+        if held < amt.units:
+            raise InsufficientFunds(
+                f"{self.owner!r} has {held} {amt.asset} reserved, "
+                f"cannot settle {amt.units}"
+            )
+        self._reserved[amt.asset] = held - amt.units
+
     def can_pay(self, amt: Amount) -> bool:
-        """Whether a debit of ``amt`` would succeed."""
+        """Whether a debit (or reserve) of ``amt`` would succeed."""
         return self._balances.get(amt.asset, 0) >= amt.units
 
     def snapshot(self) -> Dict[str, int]:
-        """Copy of the balance table (asset -> units)."""
+        """Copy of the available-balance table (asset -> units)."""
         return dict(self._balances)
 
+    def reserved_snapshot(self) -> Dict[str, int]:
+        """Copy of the reserved-balance table (asset -> units)."""
+        return {a: u for a, u in self._reserved.items() if u != 0}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if any(self._reserved.values()):
+            return (
+                f"Account({self.owner!r}, {self._balances}, "
+                f"reserved={self._reserved})"
+            )
         return f"Account({self.owner!r}, {self._balances})"
 
 

@@ -9,10 +9,24 @@ return it") is an :class:`EscrowLock` state machine::
     HELD ──release──▶ RELEASED   (value to the beneficiary)
       └────refund───▶ REFUNDED   (value back to the depositor)
 
+Escrow custody is *reservation-backed*: a deposit reserves the value on
+the depositor's account (:meth:`~repro.ledger.account.Account.reserve`),
+a release settles the reservation and credits the beneficiary, and a
+refund releases the reservation back to the depositor.  Because settle
+and release both fail when the reserved column cannot cover them, a
+lock can never pay out twice — double-spending a reserve is
+structurally impossible, not merely audited after the fact.
+
 Escrow security (property ES) is the conservation invariant audited by
 :meth:`Ledger.audit`: minted value always equals account balances plus
-held locks — the escrow can never end up out of pocket, no matter what
+held locks, *and* every held lock is exactly backed by its depositor's
+reservation — the escrow can never end up out of pocket, no matter what
 sequence of operations the participants attempt.
+
+For invariant harnesses (the workload stress tests), a ledger accepts
+an ``observer`` callback invoked after every mutating operation, so
+conservation can be checked at every ledger step rather than only at
+the end of a run.
 """
 
 from __future__ import annotations
@@ -20,7 +34,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import EscrowStateError, LedgerError, UnknownAccount
 from ..sim.kernel import Simulator
@@ -75,6 +89,10 @@ class Ledger:
         self._accounts: Dict[str, Account] = {}
         self._locks: Dict[str, EscrowLock] = {}
         self._minted: Dict[str, int] = {}
+        #: Optional ``observer(ledger, op)`` called after every mutating
+        #: operation (mint / transfer / escrow transition) — the hook
+        #: invariant harnesses use to audit conservation at every step.
+        self.observer: Optional[Callable[["Ledger", str], None]] = None
 
     # -- time / trace helpers ---------------------------------------------
 
@@ -84,6 +102,11 @@ class Ledger:
     def _trace(self, kind: TraceKind, **data: object) -> None:
         if self.sim is not None:
             self.sim.trace.record(self._now(), kind, self.name, **data)
+
+    def _notify(self, op: str) -> None:
+        observer = self.observer
+        if observer is not None:
+            observer(self, op)
 
     # -- accounts -----------------------------------------------------------
 
@@ -116,6 +139,7 @@ class Ledger:
             raise LedgerError("cannot mint a negative amount")
         self.open_account(owner).credit(amt)
         self._minted[amt.asset] = self._minted.get(amt.asset, 0) + amt.units
+        self._notify("mint")
 
     # -- direct transfers ----------------------------------------------------
 
@@ -133,6 +157,7 @@ class Ledger:
             units=amt.units,
             reason=reason,
         )
+        self._notify("transfer")
 
     # -- escrow locks ----------------------------------------------------------
 
@@ -145,17 +170,20 @@ class Ledger:
     ) -> EscrowLock:
         """Move value from ``depositor`` into escrow custody.
 
-        Returns the lock; raises :class:`InsufficientFunds` (account
-        unchanged) if the depositor cannot cover ``amt``.
+        The value is *reserved* on the depositor's account (a bounded
+        balance: the reserve fails exactly when a plain debit would),
+        so the held lock is backed by the reservation until released or
+        refunded.  Returns the lock; raises :class:`InsufficientFunds`
+        (account unchanged) if the depositor cannot cover ``amt``.
         """
         if not amt.is_positive:
             raise LedgerError(f"escrow deposit must be positive, got {amt!r}")
         self.account(beneficiary)  # beneficiary must exist up front
-        self.account(depositor).debit(amt)
+        self.account(depositor).reserve(amt)
         lid = lock_id if lock_id is not None else f"{self.name}/lock{next(_LOCK_SEQ)}"
         if lid in self._locks:
             # Restore funds before failing: deposits are atomic.
-            self.account(depositor).credit(amt)
+            self.account(depositor).release(amt)
             raise EscrowStateError(f"duplicate lock id {lid!r}")
         lock = EscrowLock(
             lock_id=lid,
@@ -173,6 +201,7 @@ class Ledger:
             asset=amt.asset,
             units=amt.units,
         )
+        self._notify("escrow_deposit")
         return lock
 
     def lock(self, lock_id: str) -> EscrowLock:
@@ -189,6 +218,10 @@ class Ledger:
             raise EscrowStateError(
                 f"lock {lock_id!r} already {lock.state.value}; cannot release"
             )
+        # Settle the depositor's reservation first: if this lock's
+        # backing was somehow already spent, the settle raises and the
+        # lock stays HELD — the double-spend never reaches the books.
+        self.account(lock.depositor).settle(lock.amount)
         lock.state = LockState.RELEASED
         lock.resolved_at = self._now()
         self.account(lock.beneficiary).credit(lock.amount)
@@ -199,6 +232,7 @@ class Ledger:
             asset=lock.amount.asset,
             units=lock.amount.units,
         )
+        self._notify("escrow_release")
         return lock
 
     def escrow_refund(self, lock_id: str) -> EscrowLock:
@@ -208,9 +242,11 @@ class Ledger:
             raise EscrowStateError(
                 f"lock {lock_id!r} already {lock.state.value}; cannot refund"
             )
+        # Releasing the reservation both restores the depositor's
+        # available balance and retires the lock's backing atomically.
+        self.account(lock.depositor).release(lock.amount)
         lock.state = LockState.REFUNDED
         lock.resolved_at = self._now()
-        self.account(lock.depositor).credit(lock.amount)
         self._trace(
             TraceKind.ESCROW_REFUND,
             lock_id=lock_id,
@@ -218,6 +254,7 @@ class Ledger:
             asset=lock.amount.asset,
             units=lock.amount.units,
         )
+        self._notify("escrow_refund")
         return lock
 
     def locks(self, state: Optional[LockState] = None) -> List[EscrowLock]:
@@ -241,21 +278,49 @@ class Ledger:
             if l.held and l.amount.asset == asset
         )
 
+    def total_reserved(self, asset: str) -> int:
+        """Sum of reserved balances for ``asset`` across all accounts."""
+        return sum(
+            acct.reserved(asset).units for acct in self._accounts.values()
+        )
+
+    def reserve_backing_ok(self, asset: str) -> bool:
+        """Whether every account's reservation equals its held locks.
+
+        Stronger than the aggregate ``total_reserved == total_in_locks``:
+        a reserve leaked from one depositor to another would cancel out
+        in the totals but not per account.
+        """
+        backing: Dict[str, int] = {}
+        for lock in self._locks.values():
+            if lock.held and lock.amount.asset == asset:
+                backing[lock.depositor] = (
+                    backing.get(lock.depositor, 0) + lock.amount.units
+                )
+        return all(
+            acct.reserved(asset).units == backing.get(owner, 0)
+            for owner, acct in self._accounts.items()
+        )
+
     def audit(self) -> Dict[str, bool]:
-        """Conservation check per asset: minted == accounts + held locks.
+        """Conservation check per asset: minted == accounts + held locks,
+        and every held lock exactly backed by its depositor's reserve.
 
         This is escrow security (ES) in executable form: if it holds at
-        the end of a run, the escrow has not lost (or fabricated) value.
+        the end of a run, the escrow has not lost (or fabricated) value
+        — and no reservation was double-spent along the way.
         """
         assets = set(self._minted)
         for acct in self._accounts.values():
             assets.update(acct.snapshot())
+            assets.update(acct.reserved_snapshot())
         for lock in self._locks.values():
             assets.add(lock.amount.asset)
         return {
             asset: (
                 self._minted.get(asset, 0)
                 == self.total_in_accounts(asset) + self.total_in_locks(asset)
+                and self.reserve_backing_ok(asset)
             )
             for asset in sorted(assets)
         }

@@ -77,7 +77,13 @@ class Simulator:
 
     @property
     def executed_events(self) -> int:
-        """Number of events fired so far."""
+        """Number of events fired so far.
+
+        Maintained incrementally, so a callback running *inside* an
+        event (a stop condition, a workload session finalizer) reads a
+        count that already includes the current event — what per-session
+        event accounting on a shared kernel relies on.
+        """
         return self._executed
 
     @property
@@ -238,7 +244,6 @@ class Simulator:
             raise SimulationError("Simulator.run is not re-entrant")
         self._running = True
         self._stopped = False
-        executed_before = self._executed
         # Hot loop: one head access per event, firing inlined (see
         # Event.fire for the contract), queue internals and the
         # condition list hoisted out of the loop.  The pop itself is
@@ -284,6 +289,7 @@ class Simulator:
                 queue._live -= 1
                 self._now = time
                 executed += 1
+                self._executed += 1
                 event.fired = True
                 event.fn(*event.args)
                 if conditions:
@@ -295,7 +301,6 @@ class Simulator:
                     if stop:
                         break
         finally:
-            self._executed += executed
             self._running = False
         if exhausted and until is not None and until > self._now:
             # The horizon binds whenever no event at or before `until`

@@ -1,0 +1,55 @@
+"""Concurrent multi-payment workloads on a shared liquidity substrate.
+
+The paper (and every campaign trial) studies one payment at a time;
+this package studies *contention*: an open-loop stream of payments
+arriving on one shared kernel, drawing funding from bounded per-escrow
+liquidity pools, so a payment can fail for liquidity reasons the paper
+never models — while every payment that does launch must still keep
+its protocol's Definition 1/2 guarantees.
+
+Layers (see each module's docstring):
+
+* :mod:`~repro.workload.arrivals` — open-loop arrival processes;
+* :mod:`~repro.workload.substrate` — the shared liquidity pools with a
+  globally checkable conservation invariant;
+* :mod:`~repro.workload.runner` — one cell: N interleaved sessions on
+  one kernel, each behind a :class:`~repro.sim.view.SessionView`;
+* :mod:`~repro.workload.spec` — declarative specs, per-payment record
+  expansion, and the complete-cell-prefix resume diff;
+* :mod:`~repro.workload.cli` — ``python -m repro workload``.
+"""
+
+from .arrivals import ARRIVAL_PROCESSES, arrival_times
+from .runner import run_workload_cell, workload_cell, workload_payment
+from .spec import (
+    DEFAULT_LIQUIDITY,
+    PAYMENT_REF,
+    TRIAL_REF,
+    WorkloadSpec,
+    diff_workload,
+    expand_cell_record,
+    normalize_mix,
+    parse_topology_mix,
+    payment_specs,
+    sample_topologies,
+)
+from .substrate import LiquiditySubstrate
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DEFAULT_LIQUIDITY",
+    "LiquiditySubstrate",
+    "PAYMENT_REF",
+    "TRIAL_REF",
+    "WorkloadSpec",
+    "arrival_times",
+    "diff_workload",
+    "expand_cell_record",
+    "normalize_mix",
+    "parse_topology_mix",
+    "payment_specs",
+    "run_workload_cell",
+    "sample_topologies",
+    "workload_cell",
+    "workload_payment",
+]

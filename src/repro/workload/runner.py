@@ -1,0 +1,374 @@
+"""Run one workload cell: many payments interleaved on one shared kernel.
+
+A *cell* is one (protocol, offered load) point of a workload sweep.  It
+schedules ``count`` payment arrivals on a single
+:class:`~repro.sim.kernel.Simulator`, admits each against the shared
+:class:`~repro.workload.substrate.LiquiditySubstrate`, and launches the
+admitted ones as concurrent :class:`~repro.core.session.PaymentSession`s
+— each behind its own :class:`~repro.sim.view.SessionView`, so sessions
+share the event queue and the global clock but keep private RNG streams
+and traces.  Events of different payments genuinely interleave; a
+payment can fail at admission because a sibling's reservations hold the
+pool (``liquidity_failed``), and that is the *only* new failure mode —
+every launched payment keeps the paper's per-payment guarantees.
+
+Per-payment determinism
+-----------------------
+Payment *k*'s seed is ``derive_seed(cell_seed, k)`` and its RNG streams
+live on its own view, so its delays/clocks/choices are a pure function
+of the cell spec — independent of which siblings are in flight.  A
+one-payment cell at a uniform arrival (time 0) therefore reproduces the
+equivalent solo campaign trial's record values exactly.
+
+Per-payment records
+-------------------
+Each payment yields the campaign trial's columns (``bob_paid`` ...
+``def1_ok`` / ``def2_ok``) plus ``arrival_time`` and
+``liquidity_failed``.  Two columns read differently under concurrency:
+``latency`` is the payment's own span (finalize time − arrival), and
+``events`` counts *kernel* events executed during the payment's
+lifetime — a contention measure that includes sibling activity (it
+equals the solo event count when the payment runs alone).  A
+liquidity-failed payment records ``def1_ok = def2_ok = None`` (the
+guarantee checkers never ran — it never launched), zero latency and
+traffic, and still-true ``ledgers_ok`` (nothing was put at risk).
+
+Each launched payment is finalized either when all its participants
+terminated (checked after every kernel event, like the solo stop
+condition) or at its own deadline ``arrival + horizon`` (a low-priority
+kernel event, so the per-payment horizon stays inclusive exactly like
+``Simulator.run(until=...)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError, WorkloadError
+from ..runtime.spec import TrialSpec, derive_seed
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from ..sim.trace import TraceRecorder
+from ..sim.view import SessionView
+from .arrivals import arrival_times
+from .spec import sample_topologies
+from .substrate import LiquiditySubstrate
+
+#: Deadline finalizers run after every ordinary event at their instant
+#: (ordinary priorities are <= MONITOR = 40), keeping the per-payment
+#: horizon inclusive like the solo path's ``run(until=horizon)``.
+DEADLINE_PRIORITY = 90
+
+
+class _LivePayment:
+    """Book-keeping for one launched, not-yet-finalized payment."""
+
+    __slots__ = (
+        "index",
+        "arrival",
+        "deadline",
+        "topology",
+        "session",
+        "pending",
+        "baseline",
+        "deadline_event",
+        "done",
+    )
+
+
+def run_workload_cell(
+    *,
+    protocol: str,
+    count: int,
+    load: float,
+    timing: Any = "sync",
+    adversary: str = "none",
+    topology_mix: Sequence[Sequence[Any]] = (("linear-3", 1.0),),
+    arrivals: str = "uniform",
+    liquidity: int = 250,
+    horizon: Optional[float] = None,
+    rho: float = 0.0,
+    protocol_options: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+    trace_level: Optional[str] = None,
+    audit: Optional[str] = None,
+    payment_label: str = "workload",
+) -> Dict[str, Any]:
+    """Run ``count`` payments at offered load ``load`` on one kernel.
+
+    ``timing`` accepts a registry name or a primitive descriptor;
+    ``protocol_options`` overrides are merged over the protocol's
+    campaign defaults; ``horizon`` is the *per-payment* deadline span
+    (protocol default when ``None``).  ``audit="every-op"`` re-checks
+    every payment ledger's conservation audit and the substrate's
+    global conservation after *every* mutating ledger operation — the
+    invariant-harness mode; it changes no behavior, only verifies.
+
+    Returns the cell summary with the per-payment value dicts under
+    ``"payments"`` (arrival order — payment ``k``'s record is entry
+    ``k``).
+    """
+    from ..core.session import PaymentSession
+    from ..scenarios.registry import (
+        make_adversary,
+        protocol_defaults,
+        timing_descriptor,
+    )
+    from ..scenarios.trial import _timing_for, _topology_for
+    from ..sim.trace import CHECKER_KINDS
+    from ..verification.properties import definition_profile, property_columns
+
+    if count < 1:
+        raise WorkloadError(f"payment count must be >= 1, got {count}")
+    descriptor = timing_descriptor(timing) if isinstance(timing, str) else timing
+    timing_model = _timing_for(descriptor)
+    defaults = protocol_defaults(protocol)
+    if horizon is None:
+        horizon = defaults.horizon
+    merged_options = dict(defaults.options)
+    merged_options.update(protocol_options or {})
+    trace_kinds = None if trace_level == "full" else CHECKER_KINDS
+    profile = definition_profile(protocol)
+
+    # Cell-level randomness: arrivals and topology sampling draw from
+    # named streams of the cell seed, never from any session's streams.
+    # Topology kinds come from the same pure helper payment_specs uses,
+    # so a payment record's `topology` option is the kind it actually ran.
+    registry = RngRegistry(seed)
+    times = arrival_times(arrivals, count, load, registry.stream("workload.arrivals"))
+    kinds = sample_topologies(seed, count, topology_mix)
+
+    kernel = Simulator(seed=seed)
+    substrate = LiquiditySubstrate(liquidity)
+    results: List[Optional[Dict[str, Any]]] = [None] * count
+    live: List[_LivePayment] = []
+    finished = 0
+    audit_ops = 0
+
+    observer = None
+    if audit == "every-op":
+
+        def observer(ledger, op: str) -> None:
+            nonlocal audit_ops
+            audit_ops += 1
+            if not ledger.audit_ok():
+                raise WorkloadError(
+                    f"ledger {ledger.name!r} broke conservation after "
+                    f"{op!r} at t={kernel.now:.6g}"
+                )
+            if not substrate.conserved():
+                raise WorkloadError(
+                    f"substrate broke global conservation after {op!r} "
+                    f"on {ledger.name!r} at t={kernel.now:.6g}"
+                )
+
+    elif audit is not None:
+        raise WorkloadError(f"unknown audit mode {audit!r}; use 'every-op'")
+
+    def _liquidity_failed_values(index: int, topology) -> Dict[str, Any]:
+        return {
+            "bob_paid": False,
+            "chi_issued": False,
+            "committed": False,
+            "aborted": False,
+            "all_terminated": True,
+            "ledgers_ok": True,
+            "latency": 0.0,
+            "messages": 0,
+            "events": 0,
+            "leaves": topology.leaves,
+            "depth": topology.depth,
+            "definition": profile.definition,
+            "def1_ok": None,
+            "def2_ok": None,
+            "violated_properties": [],
+            "arrival_time": times[index],
+            "liquidity_failed": True,
+        }
+
+    def _finalize(entry: _LivePayment, end_time: float, events: int) -> None:
+        nonlocal finished
+        outcome = entry.session.collect(end_time=end_time, events_executed=events)
+        substrate.retire(entry.topology.payment_id, entry.session.env.ledgers)
+        decisions = outcome.decision_kinds_issued()
+        values: Dict[str, Any] = {
+            "bob_paid": outcome.bob_paid,
+            "chi_issued": outcome.chi_issued(),
+            "committed": "commit" in decisions,
+            "aborted": "abort" in decisions,
+            "all_terminated": outcome.all_participants_terminated(),
+            "ledgers_ok": all(outcome.ledger_audits.values()),
+            "latency": end_time - entry.arrival,
+            "messages": outcome.messages_sent,
+            "events": events,
+            "leaves": entry.topology.leaves,
+            "depth": entry.topology.depth,
+        }
+        values.update(
+            property_columns(
+                outcome,
+                protocol=protocol,
+                timing=descriptor,
+                protocol_options=merged_options,
+            )
+        )
+        values["arrival_time"] = entry.arrival
+        values["liquidity_failed"] = False
+        results[entry.index] = values
+        entry.done = True
+        finished += 1
+
+    def _expire(entry: _LivePayment) -> None:
+        if entry.done:  # pragma: no cover - deadline events are cancelled
+            return
+        # The deadline tick itself is not one of the payment's events.
+        events = kernel.executed_events - entry.baseline - 1
+        _finalize(entry, entry.deadline, events)
+
+    def _arrive(index: int) -> None:
+        nonlocal finished
+        payment_id = f"{payment_label}-p{index}"
+        topology = _topology_for(kinds[index], payment_id)
+        if not substrate.admit(topology):
+            results[index] = _liquidity_failed_values(index, topology)
+            finished += 1
+            return
+        payment_seed = derive_seed(seed, index)
+        view = SessionView(
+            kernel,
+            seed=payment_seed,
+            trace=(
+                TraceRecorder(keep=trace_kinds)
+                if trace_kinds is not None
+                else TraceRecorder()
+            ),
+        )
+        fund = substrate.funding_hook()
+        if observer is not None:
+            inner_fund = fund
+
+            def fund(topology, ledgers, _fund=inner_fund):
+                for ledger in ledgers.values():
+                    ledger.observer = observer
+                _fund(topology, ledgers)
+
+        # Fresh adversary per payment: campaign trials reuse one cached
+        # instance with reset-between-runs, which is only sound because
+        # solo runs never overlap; workload sessions do.
+        session = PaymentSession(
+            topology,
+            protocol,
+            timing_model,
+            adversary=make_adversary(adversary, topology),
+            seed=payment_seed,
+            rho=rho,
+            horizon=horizon,
+            protocol_options=dict(merged_options),
+            trace_kinds=trace_kinds,
+            sim=view,
+            funding=fund,
+        )
+        participants = session.launch()
+        entry = _LivePayment()
+        entry.index = index
+        entry.arrival = times[index]
+        entry.deadline = times[index] + horizon
+        entry.topology = topology
+        entry.session = session
+        entry.pending = list(participants)
+        entry.baseline = kernel.executed_events
+        entry.done = False
+        entry.deadline_event = kernel.schedule_at(
+            entry.deadline, _expire, entry,
+            priority=DEADLINE_PRIORITY, label="workload.deadline",
+        )
+        live.append(entry)
+
+    def _check(sim) -> bool:
+        prune = False
+        for entry in live:
+            if entry.done:
+                prune = True
+                continue
+            pending = entry.pending
+            while pending and pending[-1].terminated:
+                pending.pop()
+            if not pending:
+                kernel.cancel(entry.deadline_event)
+                _finalize(entry, kernel.now, kernel.executed_events - entry.baseline)
+                prune = True
+        if prune:
+            live[:] = [entry for entry in live if not entry.done]
+        return finished >= count
+
+    for index in range(count):
+        kernel.schedule_at(times[index], _arrive, index, label="workload.arrival")
+    kernel.add_stop_condition(_check)
+    kernel.run(until=times[-1] + horizon)
+    # Deadlines all lie within the run horizon, so nothing should be
+    # left; finalize defensively rather than return a partial cell.
+    for entry in live:
+        if not entry.done:  # pragma: no cover - defensive
+            _finalize(
+                entry, entry.deadline, kernel.executed_events - entry.baseline
+            )
+    live.clear()
+
+    failures = sum(1 for values in results if values["liquidity_failed"])
+    return {
+        "payments": results,
+        "count": count,
+        "load": load,
+        "liquidity_failures": failures,
+        "liquidity_failure_rate": failures / count,
+        "conserved": substrate.conserved(),
+        "in_flight_at_end": substrate.in_flight_payments(),
+        "pool_capacity": liquidity,
+        "pools": substrate.pool_count,
+        "makespan": kernel.now,
+        "kernel_events": kernel.executed_events,
+        "audited_ops": audit_ops,
+    }
+
+
+def workload_cell(spec: TrialSpec) -> Dict[str, Any]:
+    """Run one workload cell; pure function of its trial spec."""
+    return run_workload_cell(
+        protocol=spec.opt("protocol"),
+        count=spec.opt("count"),
+        load=spec.opt("load"),
+        timing=spec.opt("timing"),
+        adversary=spec.opt("adversary", "none"),
+        topology_mix=spec.opt("topology_mix"),
+        arrivals=spec.opt("arrivals", "uniform"),
+        liquidity=spec.opt("liquidity"),
+        horizon=spec.opt("horizon"),
+        rho=spec.opt("rho", 0.0),
+        protocol_options=dict(spec.opt("protocol_options") or {}),
+        seed=spec.seed,
+        trace_level=spec.opt("trace_level", None),
+        audit=spec.opt("audit", None),
+        payment_label="-".join(str(c) for c in spec.coords) or "workload",
+    )
+
+
+def workload_payment(spec: TrialSpec) -> Dict[str, Any]:
+    """Marker trial fn for per-payment records (never executed).
+
+    The workload CLI persists one record per *payment* under this
+    reference — expanded in the parent process from the cell results —
+    so analysis tools see per-payment rows.  The records are expansion
+    artifacts; re-running one directly is not meaningful.
+    """
+    raise ExperimentError(
+        "workload payment records are expanded from cell results by the "
+        "workload CLI; re-run the workload instead of this record"
+    )
+
+
+__all__ = [
+    "DEADLINE_PRIORITY",
+    "run_workload_cell",
+    "workload_cell",
+    "workload_payment",
+]

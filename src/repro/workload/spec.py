@@ -1,0 +1,384 @@
+"""Declarative workload specs compiled onto the runtime sweep machinery.
+
+A :class:`WorkloadSpec` is the CLI's (and tests') view of a workload:
+protocol and offered-load axes, an arrival process, a topology mix, and
+the substrate's pool capacity.  ``compile()`` turns it into one
+:class:`~repro.runtime.spec.SweepSpec` **cell** per (protocol, load)
+point — cells are the unit of execution (each runs its own kernel +
+substrate), so ``--jobs N`` fans cells out over a process pool exactly
+like campaign trials, and the cell seed discipline
+(``derive_seed(master, sweep_id, protocol, load)``) makes every cell —
+and via ``derive_seed(cell_seed, k)`` every payment — a pure function
+of the spec.
+
+Persisted records are per *payment*, not per cell: the CLI expands each
+cell's results into one record per payment (:func:`payment_specs` gives
+their specs) before writing.  Resume therefore works on a
+complete-cell-prefix discipline (:func:`diff_workload`): the longest
+prefix of the record file that matches whole expected cells is kept
+byte-identical, and every other cell re-runs — a cell is deterministic,
+so re-running a half-written one reproduces the same records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..runtime.aggregate import TrialRecord
+from ..runtime.persist import record_to_dict
+from ..runtime.spec import SweepSpec, TrialSpec, derive_seed
+from .arrivals import ARRIVAL_PROCESSES
+
+#: Import reference of the cell trial fn (what executors run).
+TRIAL_REF = "repro.workload.runner:workload_cell"
+
+#: Import reference stamped on per-payment records (expansion artifacts).
+PAYMENT_REF = "repro.workload.runner:workload_payment"
+
+#: Default pool capacity: ~2 concurrent linear-3 payments per escrow
+#: (a linear-3 grant is 100–102 units), so moderate loads see real
+#: contention without starving everything.
+DEFAULT_LIQUIDITY = 250
+
+DEFAULT_COUNT = 100
+DEFAULT_LOADS = (0.02, 0.08)
+
+
+def normalize_mix(
+    topology_mix: Sequence[Sequence[Any]],
+) -> List[Tuple[str, float]]:
+    """Validate a mix into ``[(kind, positive weight), ...]`` pairs."""
+    entries: List[Tuple[str, float]] = []
+    for entry in topology_mix:
+        kind, weight = entry
+        weight = float(weight)
+        if weight <= 0.0:
+            raise WorkloadError(
+                f"topology-mix weight must be positive, got {kind}:{weight}"
+            )
+        entries.append((str(kind), weight))
+    if not entries:
+        raise WorkloadError("topology mix must name at least one topology")
+    return entries
+
+
+def sample_topologies(
+    seed: int, count: int, topology_mix: Sequence[Sequence[Any]]
+) -> List[str]:
+    """The topology kind of each payment, sampled from the cell's mix.
+
+    Draws come from the cell seed's dedicated ``workload.mix`` stream —
+    a pure function of (seed, count, mix), shared by the runner (to
+    build the payments) and by :func:`payment_specs` (to reconstruct
+    per-payment record specs without running anything).  A single-kind
+    mix draws nothing, so adding a second kind never perturbs other
+    streams.
+    """
+    from ..sim.rng import RngRegistry
+
+    entries = normalize_mix(topology_mix)
+    if len(entries) == 1:
+        return [entries[0][0]] * count
+    stream = RngRegistry(seed).stream("workload.mix")
+    total_weight = sum(weight for _kind, weight in entries)
+    kinds: List[str] = []
+    for _ in range(count):
+        draw = stream.random() * total_weight
+        acc = 0.0
+        chosen = entries[-1][0]
+        for kind, weight in entries:
+            acc += weight
+            if draw < acc:
+                chosen = kind
+                break
+        kinds.append(chosen)
+    return kinds
+
+
+def parse_topology_mix(text: str) -> Tuple[Tuple[str, float], ...]:
+    """Parse ``kind[:weight],...`` (e.g. ``linear-3:2,tree-2:1``).
+
+    Weights default to 1 and are relative (they need not sum to one).
+    """
+    entries: List[Tuple[str, float]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, raw_weight = part.partition(":")
+        kind = kind.strip()
+        try:
+            weight = float(raw_weight) if sep else 1.0
+        except ValueError:
+            raise WorkloadError(
+                f"bad topology-mix weight in {part!r}"
+            ) from None
+        if not kind or weight <= 0.0:
+            raise WorkloadError(
+                f"bad topology-mix entry {part!r}; expected kind[:weight] "
+                "with a positive weight"
+            )
+        entries.append((kind, weight))
+    if not entries:
+        raise WorkloadError("topology mix must name at least one topology")
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload: axes, arrival process, mix, and substrate sizing."""
+
+    protocols: Tuple[str, ...] = ("timebounded", "htlc", "weak", "certified")
+    loads: Tuple[float, ...] = DEFAULT_LOADS
+    count: int = DEFAULT_COUNT
+    timing: str = "sync"
+    adversary: str = "none"
+    topology_mix: Tuple[Tuple[str, float], ...] = (("linear-3", 1.0),)
+    arrivals: str = "uniform"
+    liquidity: int = DEFAULT_LIQUIDITY
+    horizon: Optional[float] = None
+    rho: float = 0.0
+    seed: int = 0
+    overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    audit: Optional[str] = None
+    sweep_id: str = "workload"
+
+    def validate(self) -> None:
+        from ..scenarios.registry import (
+            ADVERSARIES,
+            PROTOCOLS,
+            TIMINGS,
+            check_topology,
+        )
+
+        if not self.protocols:
+            raise WorkloadError("workload needs at least one protocol")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOLS:
+                raise WorkloadError(
+                    f"unknown protocol {protocol!r}; "
+                    f"available: {', '.join(PROTOCOLS)}"
+                )
+        if not self.loads:
+            raise WorkloadError("workload needs at least one offered load")
+        for load in self.loads:
+            if not (load > 0.0):
+                raise WorkloadError(f"offered load must be positive, got {load!r}")
+        if self.count < 1:
+            raise WorkloadError(f"payment count must be >= 1, got {self.count}")
+        if self.timing not in TIMINGS:
+            raise WorkloadError(
+                f"unknown timing {self.timing!r}; available: {', '.join(TIMINGS)}"
+            )
+        if self.adversary not in ADVERSARIES:
+            raise WorkloadError(
+                f"unknown adversary {self.adversary!r}; "
+                f"available: {', '.join(ADVERSARIES)}"
+            )
+        for kind, _weight in self.topology_mix:
+            check_topology(kind)
+        if self.arrivals not in ARRIVAL_PROCESSES:
+            raise WorkloadError(
+                f"unknown arrival process {self.arrivals!r}; "
+                f"available: {', '.join(ARRIVAL_PROCESSES)}"
+            )
+        if self.liquidity < 1:
+            raise WorkloadError(
+                f"pool capacity must be >= 1, got {self.liquidity}"
+            )
+        for protocol, options in self.overrides.items():
+            if protocol not in self.protocols:
+                raise WorkloadError(
+                    f"override target {protocol!r} is not in this workload's "
+                    "protocols"
+                )
+            from ..scenarios.registry import protocol_defaults
+
+            known = protocol_defaults(protocol).known_options
+            for option in options:
+                if option not in known:
+                    raise WorkloadError(
+                        f"unknown option {protocol}.{option}; "
+                        f"known: {', '.join(known)}"
+                    )
+
+    def cell_options(self, protocol: str) -> Dict[str, Any]:
+        """The option payload one (protocol, load) cell carries."""
+        from ..scenarios.registry import protocol_defaults, timing_descriptor
+
+        defaults = protocol_defaults(protocol)
+        merged = dict(defaults.options)
+        merged.update(self.overrides.get(protocol, {}))
+        options: Dict[str, Any] = {
+            "protocol": protocol,
+            "timing_name": self.timing,
+            "timing": timing_descriptor(self.timing),
+            "adversary": self.adversary,
+            "topology_mix": [list(entry) for entry in self.topology_mix],
+            "count": self.count,
+            "arrivals": self.arrivals,
+            "liquidity": self.liquidity,
+            "horizon": self.horizon if self.horizon is not None else defaults.horizon,
+            "rho": self.rho,
+            "protocol_options": merged,
+        }
+        if self.audit is not None:
+            options["audit"] = self.audit
+        return options
+
+    def compile(self) -> SweepSpec:
+        """One cell per (protocol, load), in axis order."""
+        self.validate()
+        sweep = SweepSpec(sweep_id=self.sweep_id)
+        for protocol in self.protocols:
+            for load in self.loads:
+                sweep.add(
+                    TRIAL_REF,
+                    self.seed,
+                    (protocol, load),
+                    load=load,
+                    **self.cell_options(protocol),
+                )
+        return sweep
+
+
+def payment_specs(cell: TrialSpec) -> List[TrialSpec]:
+    """The per-payment specs a cell's record expands into.
+
+    Payment ``k`` gets coords ``cell.coords + (k,)`` and seed
+    ``derive_seed(cell.seed, k)`` — the exact seed the runner hands the
+    session, so a persisted record's seed column *is* the payment seed.
+    Options carry the compact per-payment facts analysis groups by
+    (``flatten_record`` turns option keys into CSV columns): the
+    protocol and offered load, the payment's *sampled* topology kind —
+    reconstructed with :func:`sample_topologies`, the same pure function
+    the runner draws from — and the scenario knobs.  The cell's full
+    payload (timing descriptor, merged protocol options, ...) is not
+    repeated ``count`` times; it is recoverable from the spec that
+    produced the run.
+    """
+    count = int(cell.opt("count"))
+    kinds = sample_topologies(cell.seed, count, cell.opt("topology_mix"))
+    common = {
+        "protocol": cell.opt("protocol"),
+        "load": cell.opt("load"),
+        "timing_name": cell.opt("timing_name"),
+        "adversary": cell.opt("adversary"),
+        "arrivals": cell.opt("arrivals"),
+        "liquidity": cell.opt("liquidity"),
+    }
+    return [
+        TrialSpec(
+            fn=PAYMENT_REF,
+            coords=cell.coords + (index,),
+            seed=derive_seed(cell.seed, index),
+            options={**common, "topology": kinds[index]},
+        )
+        for index in range(count)
+    ]
+
+
+def expand_cell_record(cell_record: TrialRecord) -> List[TrialRecord]:
+    """Per-payment records from one successful cell record."""
+    payments = cell_record.values["payments"]
+    specs = payment_specs(cell_record.spec)
+    if len(payments) != len(specs):
+        raise WorkloadError(
+            f"cell {cell_record.spec.coords!r} returned {len(payments)} "
+            f"payments, expected {len(specs)}"
+        )
+    # wall_seconds stays 0.0: per-payment wall time is meaningless (the
+    # cell runs as one kernel) and zeroing it keeps the record bytes a
+    # pure function of the spec.
+    return [
+        TrialRecord(spec=spec, values=values)
+        for spec, values in zip(specs, payments)
+    ]
+
+
+@dataclass
+class WorkloadDiff:
+    """Resume plan: byte-identical kept prefix + cells still to run."""
+
+    kept: List[TrialRecord]
+    kept_bytes: int
+    completed_cells: int
+    missing: SweepSpec
+
+
+def records_byte_length(records: Sequence[TrialRecord]) -> int:
+    """On-disk length of ``records`` as the writer would serialize them.
+
+    ``record_to_dict`` has a fixed key order and the writer uses
+    compact separators with default ASCII escaping, so re-encoding
+    reproduces the persisted bytes exactly.
+    """
+    return sum(
+        len(json.dumps(record_to_dict(record), separators=(",", ":")) + "\n")
+        for record in records
+    )
+
+
+def diff_workload(
+    sweep: SweepSpec, records: Sequence[TrialRecord]
+) -> WorkloadDiff:
+    """Diff a compiled workload against already-persisted payment records.
+
+    Walks the expected per-payment sequence cell by cell; the longest
+    prefix of ``records`` consisting of *whole*, matching, error-free
+    cells is kept (and its byte length computed for the writer's
+    truncation point).  Every other cell — half-written, mismatched, or
+    simply not yet run — goes into ``missing`` and re-runs in full.
+    """
+    kept: List[TrialRecord] = []
+    missing = SweepSpec(sweep_id=sweep.sweep_id)
+    position = 0
+    prefix_intact = True
+    completed = 0
+    for cell in sweep.trials:
+        expected = payment_specs(cell)
+        matched = False
+        if prefix_intact:
+            chunk = list(records[position:position + len(expected)])
+            matched = len(chunk) == len(expected) and all(
+                record.ok
+                and record.spec.fn == spec.fn
+                and tuple(record.spec.coords) == spec.coords
+                and record.spec.seed == spec.seed
+                and dict(record.spec.options) == spec.options
+                for record, spec in zip(chunk, expected)
+            )
+        if matched:
+            kept.extend(chunk)
+            position += len(expected)
+            completed += 1
+        else:
+            prefix_intact = False
+            missing.trials.append(cell)
+    return WorkloadDiff(
+        kept=kept,
+        kept_bytes=records_byte_length(kept),
+        completed_cells=completed,
+        missing=missing,
+    )
+
+
+__all__ = [
+    "DEFAULT_COUNT",
+    "DEFAULT_LIQUIDITY",
+    "DEFAULT_LOADS",
+    "PAYMENT_REF",
+    "TRIAL_REF",
+    "WorkloadDiff",
+    "WorkloadSpec",
+    "diff_workload",
+    "expand_cell_record",
+    "normalize_mix",
+    "parse_topology_mix",
+    "payment_specs",
+    "records_byte_length",
+    "sample_topologies",
+]

@@ -16,6 +16,14 @@ the determinism contract exactly like the path cells.  The path cells
 themselves predate the port — their lines double as the proof that the
 port left path behaviour byte-identical.
 
+``golden_workload.jsonl`` extends the contract to the *concurrent*
+pipeline: a small contention workload (shared kernel + liquidity
+substrate, mixed topology sampling, real liquidity failures) whose
+per-payment records are pinned in the CLI's exact persisted byte form.
+A companion test asserts the degenerate case in values rather than
+bytes: a one-payment workload cell reproduces the equivalent solo
+campaign trial exactly, for every protocol.
+
 Trace bytes embed ``msg_id`` values drawn from a process-global
 counter, so the trace document is only reproducible from a *fresh*
 interpreter that runs nothing but the pinned cells; both the fixture
@@ -54,6 +62,7 @@ from repro.sim.queue import EventQueue
 FIXTURES = Path(__file__).parent / "fixtures"
 RECORDS_FIXTURE = FIXTURES / "golden_records.jsonl"
 TRACES_FIXTURE = FIXTURES / "golden_traces.json"
+WORKLOAD_FIXTURE = FIXTURES / "golden_workload.jsonl"
 
 #: (topology, timing) cells whose full traces are pinned byte-for-byte.
 TRACE_CELLS = (("linear-3", "sync"), ("tree-2", "sync"), ("hub-3", "partial"))
@@ -169,9 +178,88 @@ def _trace_document_hermetic() -> str:
     return proc.stdout
 
 
+def _workload_lines() -> List[str]:
+    """Per-payment workload records, serialized exactly as the writer does.
+
+    A small contention workload (two protocols × two loads, a mixed
+    topology sampler, enough offered load for real liquidity failures)
+    pins the whole concurrent pipeline byte-for-byte: arrival sampling,
+    substrate admission order, shared-kernel interleaving, per-payment
+    seed derivation, and the record expansion the CLI persists.
+    """
+    import json as _json
+
+    from repro.runtime.persist import record_to_dict
+    from repro.workload import WorkloadSpec, expand_cell_record
+
+    sweep = WorkloadSpec(
+        protocols=("htlc", "weak"),
+        loads=(0.05, 1.0),
+        count=8,
+        topology_mix=(("linear-3", 2.0), ("tree-2", 1.0)),
+        liquidity=250,
+        seed=7,
+        sweep_id="golden-workload",
+    ).compile()
+    lines: List[str] = []
+    for cell_record in SerialExecutor().run(sweep):
+        assert cell_record.error is None, cell_record.error
+        for record in expand_cell_record(cell_record):
+            lines.append(
+                _json.dumps(record_to_dict(record), separators=(",", ":"))
+            )
+    return lines
+
+
 def test_campaign_records_byte_identical_to_fixture():
     fixture = RECORDS_FIXTURE.read_text(encoding="utf-8")
     assert "\n".join(_record_lines()) + "\n" == fixture
+
+
+def test_workload_records_byte_identical_to_fixture():
+    fixture = WORKLOAD_FIXTURE.read_text(encoding="utf-8")
+    assert "\n".join(_workload_lines()) + "\n" == fixture
+
+
+def test_one_payment_workload_equals_campaign_trial():
+    """A solo workload payment IS the campaign trial, value for value.
+
+    For every protocol: a one-payment cell (uniform arrivals put it at
+    t=0) must reproduce ``scenario_trial``'s record values exactly —
+    same seed discipline, same event/message counts, same latency and
+    guarantee verdicts — modulo the two workload-only columns.
+    """
+    from repro.runtime.spec import TrialSpec, derive_seed
+    from repro.scenarios.registry import protocol_defaults
+    from repro.scenarios.trial import scenario_trial
+    from repro.workload import WorkloadSpec
+    from repro.workload.runner import workload_cell
+
+    for protocol in ("timebounded", "htlc", "weak", "certified"):
+        cell = WorkloadSpec(
+            protocols=(protocol,), loads=(0.05,), count=1, seed=42
+        ).compile().trials[0]
+        workload_values = dict(workload_cell(cell)["payments"][0])
+        assert workload_values.pop("arrival_time") == 0.0
+        assert workload_values.pop("liquidity_failed") is False
+        defaults = protocol_defaults(protocol)
+        solo = scenario_trial(
+            TrialSpec(
+                fn="repro.scenarios.trial:scenario_trial",
+                coords=(protocol,),
+                seed=derive_seed(cell.seed, 0),
+                options={
+                    "protocol": protocol,
+                    "topology": "linear-3",
+                    "timing": timing_descriptor("sync"),
+                    "adversary": "none",
+                    "horizon": defaults.horizon,
+                    "rho": 0.0,
+                    "protocol_options": dict(defaults.options),
+                },
+            )
+        )
+        assert workload_values == solo, protocol
 
 
 def test_traces_byte_identical_to_fixture():
@@ -317,7 +405,10 @@ def regenerate() -> None:
         "\n".join(_record_lines()) + "\n", encoding="utf-8"
     )
     TRACES_FIXTURE.write_text(_trace_document_hermetic(), encoding="utf-8")
-    print(f"wrote {RECORDS_FIXTURE} and {TRACES_FIXTURE}")
+    WORKLOAD_FIXTURE.write_text(
+        "\n".join(_workload_lines()) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {RECORDS_FIXTURE}, {TRACES_FIXTURE}, {WORKLOAD_FIXTURE}")
 
 
 if __name__ == "__main__":

@@ -12,9 +12,12 @@ layers and reports one *rate* metric per stage:
   (``tree-2`` / ``hub-3`` / ``fan-in-3``): fan-out/fan-in automata,
   per-escrow graph windows, per-sink hashlocks;
 * ``analyze``  — synthetic-record persistence round trip plus a
-  grouped percentile query over the analysis store.
+  grouped percentile query over the analysis store;
+* ``workload`` — concurrent multi-payment cells on the shared
+  liquidity substrate (one kernel, many interleaved sessions behind
+  ``SessionView``s, admission/retirement against bounded pools).
 
-The result is a *trajectory point*: a JSON document (``BENCH_7.json``
+The result is a *trajectory point*: a JSON document (``BENCH_8.json``
 at the repo root is the committed baseline) recording the metrics
 together with the git revision and host fingerprint.  ``--check``
 re-measures and compares the fresh **rate** metrics against the
@@ -28,11 +31,11 @@ wall time measures whoever else shares the runner.
 Usage::
 
     PYTHONPATH=src python tools/bench.py                  # measure, print
-    PYTHONPATH=src python tools/bench.py --out BENCH_7.json
+    PYTHONPATH=src python tools/bench.py --out BENCH_8.json
     PYTHONPATH=src python tools/bench.py --check          # CI gate
     PYTHONPATH=src python tools/bench.py --check --tolerance 4
     PYTHONPATH=src python tools/bench.py --suites kernel --repeat 5
-    PYTHONPATH=src python tools/bench.py --out BENCH_7.json \
+    PYTHONPATH=src python tools/bench.py --out BENCH_8.json \
         --before /tmp/bench_before.json   # embed pre-optimization point
 
 ``--before FILE`` embeds an earlier trajectory point (same schema)
@@ -62,7 +65,7 @@ for entry in (ROOT / "src", ROOT / "benchmarks"):
 SCHEMA = 1
 
 #: The committed baseline this repo's CI gates against.
-DEFAULT_BASELINE = ROOT / "BENCH_7.json"
+DEFAULT_BASELINE = ROOT / "BENCH_8.json"
 
 #: Gate metrics per suite: size-independent rates (higher = better).
 #: ``--check`` compares exactly these; wall-clock seconds are
@@ -72,6 +75,7 @@ GATE_METRICS: Dict[str, tuple] = {
     "campaign": ("trials_per_sec",),
     "graph": ("trials_per_sec",),
     "analyze": ("rows_per_sec",),
+    "workload": ("payments_per_sec",),
 }
 
 #: Default multiplicative tolerance for --check: a fresh rate may be
@@ -251,11 +255,48 @@ def bench_analyze(quick: bool, repeat: int) -> Dict[str, Any]:
     }
 
 
+def bench_workload(quick: bool, repeat: int) -> Dict[str, Any]:
+    """Concurrent-cell throughput on the liquidity substrate.
+
+    Four protocols, one contention-regime cell each: N interleaved
+    sessions on one shared kernel, every payment admitted against (and
+    retired back into) the bounded pools.  Rates the layers the solo
+    suites never touch: ``SessionView`` delegation, substrate
+    reserve/settle/credit churn, the multi-payment stop condition, and
+    per-payment deadline events.
+    """
+    from repro.workload.runner import run_workload_cell
+
+    n = 40 if quick else 150
+    protocols = ("timebounded", "htlc", "weak", "certified")
+
+    def run_cells() -> None:
+        for protocol in protocols:
+            summary = run_workload_cell(
+                protocol=protocol,
+                count=n,
+                load=1.0,
+                liquidity=300,
+                seed=1,
+            )
+            assert summary["conserved"]
+
+    timing = _best(run_cells, repeat)
+    payments = n * len(protocols)
+    return {
+        "payments": payments,
+        "payments_per_sec": payments / timing["cpu"],
+        "cpu_seconds": timing["cpu"],
+        "wall_seconds": timing["wall"],
+    }
+
+
 SUITES: Dict[str, Callable[[bool, int], Dict[str, Any]]] = {
     "kernel": bench_kernel,
     "campaign": bench_campaign,
     "graph": bench_graph,
     "analyze": bench_analyze,
+    "workload": bench_workload,
 }
 
 
@@ -281,7 +322,7 @@ def measure(
     """Run the named suites and assemble one trajectory point."""
     point: Dict[str, Any] = {
         "schema": SCHEMA,
-        "issue": 7,
+        "issue": 8,
         "git_rev": _git_rev(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -413,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         metavar="FILE",
         default=str(DEFAULT_BASELINE),
-        help="baseline trajectory point for --check (default: BENCH_7.json)",
+        help="baseline trajectory point for --check (default: BENCH_8.json)",
     )
     parser.add_argument(
         "--tolerance",

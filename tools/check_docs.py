@@ -45,6 +45,11 @@ RESUME_DOCUMENTS = ("README.md", "docs/ANALYSIS.md")
 BENCH_DOCUMENT = "README.md"
 BENCH_EXTRA_FLAGS = ("--chunksize",)
 
+#: Document that must mention every `repro workload` flag: the
+#: concurrent-workload CLI is its own README section, and its flag set
+#: (from the same parser --help renders) must stay documented there.
+WORKLOAD_DOCUMENT = "README.md"
+
 
 def _read_documents(root: Path, names, problems: List[str]) -> Dict[str, str]:
     texts: Dict[str, str] = {}
@@ -64,6 +69,7 @@ def find_gaps(root: Path = ROOT) -> List[str]:
         from repro.analysis.cli import cli_flags
         from repro.analysis.query import METRICS
         from repro.scenarios.registry import TOPOLOGY_BUILDERS, axis_descriptions
+        from repro.workload.cli import cli_flags as workload_cli_flags
     finally:
         sys.path.pop(0)
 
@@ -125,6 +131,18 @@ def find_gaps(root: Path = ROOT) -> List[str]:
         for flag in RESUME_FLAGS:
             if f"`{flag}`" not in text:
                 problems.append(f"{rel}: campaign flag `{flag}` not documented")
+
+    # The workload CLI: every `repro workload` flag must be documented
+    # (backticked, bare or usage-style) in the README's workload
+    # section, from the same parser that --help renders.
+    workload_texts = _read_documents(root, (WORKLOAD_DOCUMENT,), problems)
+    workload_text = workload_texts.get(WORKLOAD_DOCUMENT, "")
+    if workload_text:
+        for flag in workload_cli_flags():
+            if f"`{flag}`" not in workload_text and f"`{flag} " not in workload_text:
+                problems.append(
+                    f"{WORKLOAD_DOCUMENT}: workload flag `{flag}` not documented"
+                )
 
     # The perf harness: every tools/bench.py flag must be documented
     # (backticked, bare or usage-style) in the README's performance
