@@ -120,7 +120,15 @@ EmitFn = Callable[[Any], Tuple[List[SendSpec], str]]
 
 @dataclass
 class StateSpec:
-    """One automaton state."""
+    """One automaton state.
+
+    ``decision=True`` marks an output state as *decision-grade*: its
+    emission is an irrevocable protocol decision (a commit, a refund),
+    so a durable automaton write-ahead-logs it — and reports the
+    ``pre-decision`` / ``post-sign-pre-send`` / ``post-send`` crash
+    points around it (see :mod:`repro.sim.faults`).  The flag is inert
+    unless the automaton has a decision log attached.
+    """
 
     name: str
     kind: StateKind
@@ -128,6 +136,7 @@ class StateSpec:
     timeouts: List[TimeoutSpec] = field(default_factory=list)
     emit: Optional[EmitFn] = None
     on_enter: Optional[Callable[[Any], None]] = None
+    decision: bool = False
 
     def __post_init__(self) -> None:
         if self.kind is StateKind.OUTPUT and self.emit is None:
@@ -137,6 +146,10 @@ class StateSpec:
         if self.kind is not StateKind.INPUT and (self.receives or self.timeouts):
             raise AutomatonError(
                 f"only input states may own transitions ({self.name!r})"
+            )
+        if self.decision and self.kind is not StateKind.OUTPUT:
+            raise AutomatonError(
+                f"only output states can be decision-grade ({self.name!r})"
             )
 
 

@@ -135,6 +135,11 @@ class PaymentSession:
         Optional hook replacing the default mint-per-funding-grant
         setup (see :data:`FundingHook`); a workload uses it to draw
         each payment's funding from the shared liquidity substrate.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultInjector` implementing
+        the crash-restart adversary: it is attached to the protocol's
+        participants after ``build()``, giving its victim durable
+        storage and crashing it at the configured crash point.
     """
 
     DEFAULT_HORIZON = 1_000_000.0
@@ -155,6 +160,7 @@ class PaymentSession:
         trace_kinds: Optional[Any] = None,
         sim: Optional[Union[Simulator, SessionView]] = None,
         funding: Optional[FundingHook] = None,
+        faults: Optional[Any] = None,
     ) -> None:
         self.topology = topology
         self.protocol_ref = protocol
@@ -170,6 +176,7 @@ class PaymentSession:
         self.trace_kinds = frozenset(trace_kinds) if trace_kinds is not None else None
         self.sim_override = sim
         self.funding = funding
+        self.faults = faults
         # Populated by launch()/run():
         self.env: Optional[PaymentEnv] = None
         self.protocol_instance: Any = None
@@ -252,6 +259,8 @@ class PaymentSession:
         protocol = self._resolve_protocol(env)
         self.protocol_instance = protocol
         protocol.build()
+        if self.faults is not None:
+            self.faults.attach(protocol.processes.values())
         self.initial_balances = snapshot_balances(env.ledgers, self.topology)
         protocol.start()
         participants = list(protocol.processes.values())

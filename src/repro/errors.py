@@ -24,6 +24,15 @@ class SchedulingError(SimulationError):
     """An event could not be scheduled (e.g. negative delay)."""
 
 
+class RecoveryError(SimulationError):
+    """The crash–recovery machinery was misused or hit corruption.
+
+    Examples: a fault plan naming an unknown crash point or victim, or
+    a decision log whose byte stream is corrupt *before* its final
+    (salvageable) record.
+    """
+
+
 class ClockError(ReproError):
     """A local clock was configured with invalid parameters.
 

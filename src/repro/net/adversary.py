@@ -178,6 +178,29 @@ class FirstWindowAdversary(Adversary):
         return f"FirstWindowAdversary({self.kind.value}, {self.delay})"
 
 
+class CrashRestartAdversary(Adversary):
+    """Crash–restart fault plan (the ``crash-restart`` campaign axis).
+
+    Unlike the scheduling adversaries this one never touches a message:
+    it *carries the fault plan* — which process to crash, at which named
+    crash point (see :data:`repro.sim.faults.CRASH_POINTS`), and for how
+    long — and the trial layer converts the plan into a live
+    :class:`~repro.sim.faults.FaultInjector` attached to the session.
+    It is stateless and safe to cache; the injector holds the per-run
+    crash/recovery timestamps.
+    """
+
+    def __init__(self, victim: str, point: str, downtime: float) -> None:
+        self.victim = victim
+        self.point = point
+        self.downtime = downtime
+
+    def describe(self) -> str:
+        return (
+            f"CrashRestart({self.victim}@{self.point}, d={self.downtime})"
+        )
+
+
 class CompositeAdversary(Adversary):
     """Combine adversaries; the first non-``None`` proposal wins."""
 
@@ -224,6 +247,7 @@ __all__ = [
     "Adversary",
     "CertificateWithholdingAdversary",
     "CompositeAdversary",
+    "CrashRestartAdversary",
     "EdgeDelayAdversary",
     "FirstWindowAdversary",
     "HOLD",

@@ -4,8 +4,9 @@
 instances through a :class:`~repro.net.timing.TimingModel`, optionally
 filtered by an :class:`~repro.net.adversary.Adversary`.  Sends are
 authenticated (sender attribution is done by the network) and reliable
-(no losses — the classic model; crashes are modelled as processes that
-stop sending).
+(no losses — the classic model), with one exception: a message
+delivered to a *crashed* process (see :mod:`repro.sim.faults`) is
+dropped, exactly as a fail-stopped machine loses its in-flight input.
 
 Every send and delivery is recorded in the simulation trace, which is
 what property checkers and experiment tables read.
@@ -169,7 +170,9 @@ class Network:
             msg_id=envelope.msg_id,
             latency=latency,
         )
-        if process is not None and not process.terminated:
+        # A crashed process is down: traffic addressed to it during the
+        # downtime is lost with its volatile state (fail-stop model).
+        if process is not None and not process.terminated and not process.crashed:
             process.handle_message(envelope)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

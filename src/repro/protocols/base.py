@@ -36,6 +36,14 @@ class PaymentProtocol(ABC):
     #: cells with a reason instead of erroring.
     supported_topologies: ClassVar[FrozenSet[str]] = frozenset({"path"})
 
+    #: Whether this protocol's participants implement the durable-actor
+    #: lifecycle (``checkpoint()``/``restore()`` over a write-ahead
+    #: :class:`~repro.sim.decision_log.DecisionLog`), making them valid
+    #: victims for the ``crash-restart`` adversary family.  The scenario
+    #: layer skips crash-restart cells of protocols that do not declare
+    #: it, with a reason, exactly like ``supported_topologies``.
+    supports_recovery: ClassVar[bool] = False
+
     def __init__(self, env: PaymentEnv) -> None:
         self.env = env
         #: Protocol participants (customers + escrows), by name.
@@ -125,6 +133,18 @@ def protocol_capabilities(name: str) -> FrozenSet[str]:
     return cls.supported_topologies
 
 
+def protocol_supports_recovery(name: str) -> bool:
+    """The ``supports_recovery`` declaration of a registered protocol."""
+    _ensure_builtins_loaded()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls.supports_recovery
+
+
 _REGISTRY: Dict[str, Type[PaymentProtocol]] = {}
 
 
@@ -170,6 +190,7 @@ __all__ = [
     "check_supported",
     "create_protocol",
     "protocol_capabilities",
+    "protocol_supports_recovery",
     "register_protocol",
     "topology_traits",
 ]

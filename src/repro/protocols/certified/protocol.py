@@ -74,7 +74,23 @@ class CBCObserver(Process):
         self.beneficiaries = as_beneficiaries(beneficiary)
         self.participants = list(participants)
         self.broadcasted = False
+        self.decision: Optional[Decision] = None
         chain.subscribe_finality(self._on_finality)
+
+    def handle_message(self, message: Any) -> None:
+        # Recovery requery: re-serve the derived decision to a restored
+        # participant that missed the one-shot broadcast while crashed.
+        payload = message.payload
+        if (
+            message.kind is MsgKind.CONTROL
+            and isinstance(payload, dict)
+            and payload.get("op") == "decision_query"
+            and self.decision is not None
+        ):
+            cert = DecisionCertificate.issue(
+                self.identity, self.payment_id, self.decision
+            )
+            self.network.send(self, message.sender, MsgKind.DECISION, cert)
 
     def _on_finality(self, receipt: Receipt) -> None:
         if self.broadcasted or not receipt.ok:
@@ -87,6 +103,7 @@ class CBCObserver(Process):
         if decision is None:
             return
         self.broadcasted = True
+        self.decision = decision
         cert = DecisionCertificate.issue(self.identity, self.payment_id, decision)
         self.sim.trace.record(
             self.sim.now, TraceKind.CERT_ISSUED, self.name, cert=decision.value
@@ -190,6 +207,11 @@ class CBCBackend(TMBackend):
 
     def make_listener(self) -> DecisionListener:
         return _SingleIssuerListener(self._keyring, self.observer_name, self._payment_id)
+
+    def requery(self, process: Process) -> None:
+        process.network.send(  # type: ignore[attr-defined]
+            process, self.observer_name, MsgKind.CONTROL, {"op": "decision_query"}
+        )
 
 
 @register_protocol

@@ -228,8 +228,17 @@ def escrow_spec(name: str, upstream: str, downstream: str) -> AutomatonSpec:
             ],
         )
     )
-    spec.add(StateSpec(name="send_commit", kind=StateKind.OUTPUT, emit=emit_commit))
-    spec.add(StateSpec(name="send_refund", kind=StateKind.OUTPUT, emit=emit_refund))
+    # Commit and refund are the irrevocable decisions: a durable escrow
+    # write-ahead-logs them, and the crash-restart adversary's named
+    # points (pre-decision / post-sign-pre-send / post-send) wrap them.
+    spec.add(StateSpec(
+        name="send_commit", kind=StateKind.OUTPUT, emit=emit_commit,
+        decision=True,
+    ))
+    spec.add(StateSpec(
+        name="send_refund", kind=StateKind.OUTPUT, emit=emit_refund,
+        decision=True,
+    ))
     spec.add(StateSpec(name="done_committed", kind=StateKind.FINAL))
     spec.add(StateSpec(name="done_refunded", kind=StateKind.FINAL))
     return spec

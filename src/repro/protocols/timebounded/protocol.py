@@ -72,6 +72,10 @@ class TimeBoundedProtocol(PaymentProtocol):
 
     name = "timebounded"
     supported_topologies = frozenset({"path", "dag", "multi-source"})
+    # Escrows are TimedAutomata with decision-grade commit/refund
+    # states: checkpoint at input states, write-ahead log around the
+    # decision emits (see repro.anta.automaton and sim/decision_log).
+    supports_recovery = True
 
     def build(self) -> None:
         env = self.env

@@ -23,6 +23,7 @@ from ...crypto.signatures import SignedClaim
 from ...ledger.asset import Amount
 from ...ledger.ledger import Ledger
 from ...net.message import Envelope, MsgKind
+from ...sim.decision_log import CHECKPOINT, DECISION, SENT
 from ...sim.process import Process
 from ...sim.trace import TraceKind
 from .tm import DecisionListener, TMBackend, VerifiedDecision
@@ -100,6 +101,9 @@ class WeakEscrow(Process):
             lock_id=f"{self.payment_id}/{self.name}",
         )
         self.lock_id = lock.lock_id
+        # The lock is on-ledger (durable); checkpoint its id so a
+        # restored escrow knows it holds money and must re-report.
+        self.checkpoint()
         claim = SignedClaim.make(
             self.identity, payment_id=self.payment_id, kind="escrowed"
         )
@@ -120,6 +124,12 @@ class WeakEscrow(Process):
     def _on_decision(self, decision: VerifiedDecision) -> None:
         if self.decision_seen is not None:
             return
+        # Crash before the decision is acted on: the certificate
+        # envelope is lost with the volatile state; a restored escrow
+        # must re-query the TM to learn the verdict again.
+        self.reach_crash_point("pre-decision")
+        if self.crashed:
+            return
         self.decision_seen = decision
         self.sim.trace.record(
             self.sim.now,
@@ -127,24 +137,88 @@ class WeakEscrow(Process):
             self.name,
             cert=decision.decision.value,
         )
+        sends = []
         if self.lock_id is not None:
             if decision.decision is Decision.COMMIT:
                 self.ledger.escrow_release(self.lock_id)
-                self.network.send(
-                    self,
+                sends.append((
                     self.downstream,
                     MsgKind.MONEY,
                     {"amount": self.amount, "note": "payment"},
-                )
+                ))
             else:
                 self.ledger.escrow_refund(self.lock_id)
-                self.network.send(
-                    self,
+                sends.append((
                     self.upstream,
                     MsgKind.MONEY,
                     {"amount": self.amount, "note": "refund"},
-                )
+                ))
+        log = self.decision_log
+        if log is not None:
+            # Write-ahead: the ledger op is on-chain already, the
+            # notifications are not — log them before transmitting so a
+            # post-sign-pre-send crash can retransmit on restore.
+            log.append(
+                DECISION, decision=decision.decision.value, sends=sends
+            )
+            log.sync()
+            self.reach_crash_point("post-sign-pre-send")
+            if self.crashed:
+                return
+        for to, kind, payload in sends:
+            self.network.send(self, to, kind, payload)
+        if log is not None:
+            log.append(SENT)
+            log.sync()
+            self.reach_crash_point("post-send")
+            if self.crashed:
+                return
         self.terminate(reason=f"decision {decision.decision.value}")
+
+    # -- crash recovery ------------------------------------------------------
+
+    def _durable_state(self):
+        return {"lock_id": self.lock_id}
+
+    def restore(self) -> None:
+        """Replay the decision log; if still in doubt, ask the TM again.
+
+        Mirrors an in-doubt 2PC participant: a logged decision is
+        re-executed (retransmitting any notifications that never made
+        it out), an escrow that crashed before the decision re-reports
+        its on-ledger lock and re-queries the verdict — the one-shot
+        decision broadcast may have happened while it was down.
+        """
+        log = self.decision_log
+        if log is None:  # pragma: no cover - recover() implies a log
+            return
+        self.lock_id = None
+        decision_record = None
+        sent = False
+        for record in log.records():
+            kind = record["kind"]
+            if kind == CHECKPOINT:
+                self.lock_id = record.get("lock_id")
+            elif kind == DECISION:
+                decision_record = record
+            elif kind == SENT:
+                sent = True
+        if decision_record is not None:
+            value = decision_record["decision"]
+            self.decision_seen = VerifiedDecision(
+                decision=Decision(value), certificate=None
+            )
+            if not sent:
+                for to, kind, payload in decision_record["sends"]:
+                    self.network.send(self, to, kind, payload)
+            self.terminate(reason=f"decision {value} (recovered)")
+            return
+        if self.lock_id is not None:
+            claim = SignedClaim.make(
+                self.identity, payment_id=self.payment_id, kind="escrowed"
+            )
+            self.backend.report(self, MsgKind.ESCROWED, claim)
+        self.backend.requery(self)
 
 
 __all__ = ["WeakEscrow"]

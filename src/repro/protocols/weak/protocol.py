@@ -44,6 +44,9 @@ class WeakLivenessProtocol(PaymentProtocol):
     supported_topologies: FrozenSet[str] = frozenset(
         {"path", "dag", "multi-source"}
     )
+    # Escrows log deposits/decisions write-ahead and, like an in-doubt
+    # 2PC participant, re-query the TM for the verdict on restore.
+    supports_recovery = True
 
     def build(self) -> None:
         env = self.env

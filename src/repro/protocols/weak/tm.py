@@ -68,6 +68,16 @@ class TMBackend(ABC):
     def make_listener(self) -> DecisionListener:
         """A fresh decision listener for one participant."""
 
+    def requery(self, process: Process) -> None:
+        """Ask the TM to re-serve an already-rendered decision.
+
+        Decision broadcasts are one-shot, so a participant that crashed
+        across the broadcast misses it forever; a restored in-doubt
+        escrow calls this to hear the verdict again.  The default is a
+        no-op (the committee backend does not support requery — a
+        documented recovery limitation); point backends override it.
+        """
+
 
 # ---------------------------------------------------------------------------
 # Trusted single party
@@ -127,6 +137,14 @@ class TrustedPartyProcess(Process):
         self.decision: Optional[Decision] = None
 
     def handle_message(self, message: Envelope) -> None:
+        if message.kind is MsgKind.CONTROL:
+            payload = message.payload
+            if (
+                isinstance(payload, dict)
+                and payload.get("op") == "decision_query"
+            ):
+                self._reserve(message.sender)
+            return
         claim = message.payload
         if not isinstance(claim, SignedClaim):
             return
@@ -151,6 +169,15 @@ class TrustedPartyProcess(Process):
             and len(self.reported) == len(self.escrows)
         ):
             self._decide(Decision.COMMIT)
+
+    def _reserve(self, requester: str) -> None:
+        """Re-issue the decision certificate to one recovered party."""
+        if self.decision is None:
+            return
+        cert = DecisionCertificate.issue(
+            self.identity, self.payment_id, self.decision
+        )
+        self.network.send(self, requester, MsgKind.DECISION, cert)
 
     def _decide(self, decision: Decision) -> None:
         self.decision = decision
@@ -228,6 +255,11 @@ class TrustedPartyBackend(TMBackend):
     def make_listener(self) -> DecisionListener:
         return _SingleIssuerListener(self._keyring, self.tm_name, self._payment_id)
 
+    def requery(self, process: Process) -> None:
+        process.network.send(  # type: ignore[attr-defined]
+            process, self.tm_name, MsgKind.CONTROL, {"op": "decision_query"}
+        )
+
 
 # ---------------------------------------------------------------------------
 # Smart contract on a shared blockchain
@@ -263,6 +295,23 @@ class ContractTMAgent(Process):
         self.participants = list(participants)
         self.broadcasted = False
         chain.subscribe_finality(self._on_finality)
+
+    def handle_message(self, message: Envelope) -> None:
+        # Recovery requery: once the finalised decision has been
+        # broadcast, re-serve it to any restored participant that asks.
+        payload = message.payload
+        if (
+            message.kind is MsgKind.CONTROL
+            and isinstance(payload, dict)
+            and payload.get("op") == "decision_query"
+            and self.broadcasted
+        ):
+            contract = self.chain.contract(self.contract_address)
+            assert isinstance(contract, TransactionManagerContract)
+            cert = DecisionCertificate.issue(
+                self.identity, self.payment_id, contract.decision
+            )
+            self.network.send(self, message.sender, MsgKind.DECISION, cert)
 
     def _on_finality(self, receipt: Receipt) -> None:
         if self.broadcasted or receipt.tx.contract != self.contract_address:
@@ -361,6 +410,11 @@ class ContractBackend(TMBackend):
 
     def make_listener(self) -> DecisionListener:
         return _SingleIssuerListener(self._keyring, self.agent_name, self._payment_id)
+
+    def requery(self, process: Process) -> None:
+        process.network.send(  # type: ignore[attr-defined]
+            process, self.agent_name, MsgKind.CONTROL, {"op": "decision_query"}
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -191,7 +191,10 @@ def run_campaign(
     """Compile, execute, and aggregate a campaign in one call."""
     return aggregate_campaign(
         resolve_executor(executor).run(campaign.compile()),
-        skipped=campaign.unsupported_cells(),
+        skipped=(
+            campaign.unsupported_cells()
+            + campaign.unsupported_adversary_cells()
+        ),
     )
 
 

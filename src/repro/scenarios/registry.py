@@ -41,6 +41,7 @@ from ..ledger.asset import Amount
 from ..net.adversary import (
     Adversary,
     CertificateWithholdingAdversary,
+    CrashRestartAdversary,
     EdgeDelayAdversary,
     KindDelayAdversary,
     NullAdversary,
@@ -48,6 +49,7 @@ from ..net.adversary import (
     HOLD,
 )
 from ..net.message import MsgKind
+from ..sim.faults import CRASH_POINTS
 
 #: Assumed message-delay bound fed to protocols that need one even when
 #: the timing model publishes none.
@@ -223,6 +225,71 @@ def _make_branch_holder(topology: Optional[PaymentGraph] = None) -> Adversary:
     return EdgeDelayAdversary(links, delay=HOLD)
 
 
+#: Crash-restart defaults: the decisive point (the durable decision is
+#: signed but its notifications never left) and a downtime comparable
+#: to the sync timing model's Δ=1 windows.
+DEFAULT_CRASH_POINT = "post-sign-pre-send"
+DEFAULT_CRASH_DOWNTIME = 10.0
+
+
+def _crash_victim(topology: Optional[PaymentGraph]) -> str:
+    """The recipient-side escrow — Theorem 2's target ``e_{n-1}``."""
+    if topology is None:
+        raise ScenarioError(
+            "adversary 'crash-restart' crashes the recipient-side escrow "
+            "and needs the topology: make_adversary('crash-restart', topology)"
+        )
+    sink = topology.sinks()[0]
+    return topology.in_edges(sink)[0].escrow
+
+
+def parse_crash_restart(name: str) -> Optional[Tuple[str, float]]:
+    """Parse a ``crash-restart`` family name into ``(point, downtime)``.
+
+    Returns ``None`` when ``name`` is not in the family.  Recognised
+    patterns (point defaults to :data:`DEFAULT_CRASH_POINT`, downtime
+    to :data:`DEFAULT_CRASH_DOWNTIME`):
+
+    * ``crash-restart``
+    * ``crash-restart-<point>`` — a :data:`~repro.sim.faults.CRASH_POINTS` name
+    * ``crash-restart-d<D>`` — sweep the downtime only
+    * ``crash-restart-<point>-d<D>`` — both
+    """
+    if name != "crash-restart" and not name.startswith("crash-restart-"):
+        return None
+    point, downtime = DEFAULT_CRASH_POINT, DEFAULT_CRASH_DOWNTIME
+    rest = name[len("crash-restart-"):]
+    if rest:
+        parts = rest.split("-")
+        tail = parts[-1]
+        if tail[:1] == "d" and tail[1:]:
+            try:
+                downtime = float(tail[1:])
+            except ValueError:
+                pass  # not a downtime suffix; treat it as part of the point
+            else:
+                parts = parts[:-1]
+        if parts:
+            point = "-".join(parts)
+            if point not in CRASH_POINTS:
+                raise ScenarioError(
+                    f"unknown crash point {point!r} in adversary {name!r}; "
+                    f"points: {', '.join(CRASH_POINTS)}"
+                )
+        if downtime < 0:
+            raise ScenarioError(
+                f"adversary {name!r} asks for negative downtime {downtime}"
+            )
+    return point, downtime
+
+
+def _make_crash_restart(topology: Optional[PaymentGraph] = None) -> Adversary:
+    """Crash the recipient-side escrow at a named crash point, restore it after downtime d (variants: crash-restart-<point>[-d<D>])."""
+    return CrashRestartAdversary(
+        _crash_victim(topology), DEFAULT_CRASH_POINT, DEFAULT_CRASH_DOWNTIME
+    )
+
+
 #: name -> factory, called inside the trial process with the topology.
 ADVERSARIES: Dict[str, AdversaryFactory] = {
     "none": _make_none,
@@ -234,16 +301,24 @@ ADVERSARIES: Dict[str, AdversaryFactory] = {
     "alice-edge": _make_alice_edge,
     "bob-edge": _make_bob_edge,
     "branch-holder": _make_branch_holder,
+    "crash-restart": _make_crash_restart,
 }
 
 
 def check_adversary(name: str) -> str:
-    """Validate an adversary name without building it; returns ``name``."""
-    if name not in ADVERSARIES:
-        raise ScenarioError(
-            f"unknown adversary {name!r}; available: {available_adversaries()}"
-        )
-    return name
+    """Validate an adversary name without building it; returns ``name``.
+
+    Besides the exact registry names, the ``crash-restart`` family
+    resolves as a pattern — ``crash-restart[-<point>][-d<D>]`` — the
+    same way ``kind-N`` topology names do.
+    """
+    if name in ADVERSARIES:
+        return name
+    if parse_crash_restart(name) is not None:
+        return name
+    raise ScenarioError(
+        f"unknown adversary {name!r}; available: {available_adversaries()}"
+    )
 
 
 def make_adversary(
@@ -251,10 +326,16 @@ def make_adversary(
 ) -> Optional[Adversary]:
     """Build the adversary registered under ``name`` (``None`` = honest).
 
-    ``topology`` lets targeted adversaries (``bob-edge``) resolve their
-    victim links; topology-free adversaries ignore it.
+    ``topology`` lets targeted adversaries (``bob-edge``,
+    ``crash-restart``) resolve their victims; topology-free adversaries
+    ignore it.
     """
-    return ADVERSARIES[check_adversary(name)](topology)
+    check_adversary(name)
+    factory = ADVERSARIES.get(name)
+    if factory is not None:
+        return factory(topology)
+    point, downtime = parse_crash_restart(name)  # type: ignore[misc]
+    return CrashRestartAdversary(_crash_victim(topology), point, downtime)
 
 
 # -- topologies ------------------------------------------------------------------
@@ -599,6 +680,8 @@ __all__ = [
     "ADVERSARIES",
     "ASSUMED_DELTA",
     "AdversaryFactory",
+    "DEFAULT_CRASH_DOWNTIME",
+    "DEFAULT_CRASH_POINT",
     "DEFAULT_HORIZON",
     "PROTOCOLS",
     "ProtocolDefaults",
@@ -614,6 +697,7 @@ __all__ = [
     "check_adversary",
     "check_topology",
     "make_adversary",
+    "parse_crash_restart",
     "protocol_defaults",
     "timing_descriptor",
     "topology_shape_traits",

@@ -19,11 +19,12 @@ from typing import (
 )
 
 from ..errors import ProtocolError, ScenarioError
-from ..protocols.base import protocol_capabilities
+from ..protocols.base import protocol_capabilities, protocol_supports_recovery
 from ..runtime import SweepSpec
 from .registry import (
     check_adversary,
     check_topology,
+    parse_crash_restart,
     protocol_defaults,
     timing_descriptor,
     topology_shape_traits,
@@ -57,6 +58,30 @@ def unsupported_reason(protocol: str, topology: str) -> Optional[str]:
     return (
         f"topology {topology!r} demands {missing} but protocol "
         f"{protocol!r} only supports {sorted(supported)}"
+    )
+
+
+def unsupported_adversary_reason(protocol: str, adversary: str) -> Optional[str]:
+    """Why ``protocol`` cannot face ``adversary``, or ``None`` if it can.
+
+    The ``crash-restart`` family requires the protocol's participants to
+    implement the durable-actor lifecycle, declared via
+    :attr:`~repro.protocols.base.PaymentProtocol.supports_recovery` —
+    the adversary analogue of :func:`unsupported_reason`.  Unknown
+    names return ``None``; the regular axis validation owns those
+    errors and their messages.
+    """
+    try:
+        if parse_crash_restart(adversary) is None:
+            return None
+        supported = protocol_supports_recovery(protocol)
+    except (ProtocolError, ScenarioError):
+        return None
+    if supported:
+        return None
+    return (
+        f"adversary {adversary!r} needs crash recovery but protocol "
+        f"{protocol!r} does not declare supports_recovery"
     )
 
 
@@ -267,16 +292,48 @@ class CampaignSpec:
             for protocol, topology, _ in self.unsupported_cells()
         }
 
+    def unsupported_adversary_cells(self) -> List[Tuple[str, str, str]]:
+        """(protocol, adversary, reason) combinations the campaign skips.
+
+        The adversary analogue of :meth:`unsupported_cells`: a
+        ``crash-restart`` cell of a protocol without
+        ``supports_recovery`` is skipped with a reason instead of
+        failing the campaign.
+        """
+        return [
+            (protocol, adversary, reason)
+            for protocol in self.protocols
+            for adversary in self.adversaries
+            for reason in (unsupported_adversary_reason(protocol, adversary),)
+            if reason is not None
+        ]
+
+    def _skipped_adversary_pairs(self) -> Set[Tuple[str, str]]:
+        return {
+            (protocol, adversary)
+            for protocol, adversary, _ in self.unsupported_adversary_cells()
+        }
+
     def __len__(self) -> int:
         """Total trial count across all compiled (non-skipped) cells."""
-        pairs = (
-            len(self.protocols) * len(self.topologies)
-            - len(self._skipped_pairs())
-        )
+        skipped_topo = self._skipped_pairs()
+        skipped_adv = self._skipped_adversary_pairs()
+        cells = 0
+        for protocol in self.protocols:
+            topologies = sum(
+                1
+                for topology in self.topologies
+                if (protocol, topology) not in skipped_topo
+            )
+            adversaries = sum(
+                1
+                for adversary in self.adversaries
+                if (protocol, adversary) not in skipped_adv
+            )
+            cells += topologies * adversaries
         return (
-            pairs
+            cells
             * len(self.timings)
-            * len(self.adversaries)
             * len(self._rho_values())
             * len(self._horizon_values())
             * self.trials
@@ -291,9 +348,14 @@ class CampaignSpec:
         so that raises instead.
         """
         skipped = self._skipped_pairs()
-        if len(skipped) == len(self.protocols) * len(self.topologies):
+        skipped_adversaries = self._skipped_adversary_pairs()
+        if len(self) == 0:
             reasons = "; ".join(
-                reason for _, _, reason in self.unsupported_cells()
+                reason
+                for _, _, reason in (
+                    self.unsupported_cells()
+                    + self.unsupported_adversary_cells()
+                )
             )
             raise ScenarioError(
                 f"every protocol x topology combination is unsupported, "
@@ -310,6 +372,8 @@ class CampaignSpec:
             )
         ):
             if (protocol, topology) in skipped:
+                continue
+            if (protocol, adversary) in skipped_adversaries:
                 continue
             yield ScenarioSpec(
                 protocol=protocol,
@@ -356,5 +420,6 @@ __all__ = [
     "NAME_AXES",
     "ScenarioSpec",
     "TRIAL_REF",
+    "unsupported_adversary_reason",
     "unsupported_reason",
 ]

@@ -94,6 +94,8 @@ def _adversary_for(name: str, topology: Any, topology_name: str) -> Any:
 def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
     """Run one scenario trial; pure function of its spec."""
     from ..core.session import PaymentSession
+    from ..net.adversary import CrashRestartAdversary
+    from ..sim.faults import FaultInjector
     from ..sim.trace import CHECKER_KINDS
     from ..verification.properties import property_columns
 
@@ -106,16 +108,26 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
     trace_kinds: Optional[Any] = (
         None if spec.opt("trace_level", None) == "full" else CHECKER_KINDS
     )
+    adversary = _adversary_for(spec.opt("adversary"), topology, topology_name)
+    # A crash-restart adversary is a fault *plan*; the live injector is
+    # stateful (crash/recovery timestamps) and therefore built fresh
+    # per trial rather than cached.
+    injector = None
+    if isinstance(adversary, CrashRestartAdversary):
+        injector = FaultInjector(
+            adversary.victim, adversary.point, adversary.downtime
+        )
     session = PaymentSession(
         topology,
         spec.opt("protocol"),
         _timing_for(spec.opt("timing")),
-        adversary=_adversary_for(spec.opt("adversary"), topology, topology_name),
+        adversary=adversary,
         seed=spec.seed,
         rho=spec.opt("rho", 0.0),
         horizon=spec.opt("horizon"),
         protocol_options=dict(spec.opt("protocol_options") or {}),
         trace_kinds=trace_kinds,
+        faults=injector,
     )
     outcome = session.run()
     decisions = outcome.decision_kinds_issued()
@@ -138,6 +150,13 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
         "leaves": topology.leaves,
         "depth": topology.depth,
     }
+    if injector is not None:
+        # Recovery columns appear only on crash-restart cells, so every
+        # pre-existing campaign record stays byte-identical.
+        record["crashed"] = injector.crashed_at is not None
+        record["crash_point"] = injector.point
+        record["crash_downtime"] = injector.downtime
+        record["recovered_at"] = injector.recovered_at
     record.update(
         property_columns(
             outcome,

@@ -6,7 +6,9 @@ tracing (:class:`TraceRecorder`), and reproducible named random streams
 (:class:`RngRegistry`).
 """
 
+from .decision_log import DecisionLog
 from .events import Event, EventPriority, make_event
+from .faults import CRASH_POINTS, FaultInjector
 from .kernel import Simulator
 from .process import Process
 from .queue import EventQueue
@@ -14,9 +16,12 @@ from .rng import RngRegistry, RngStream, derive_seed
 from .trace import TraceEvent, TraceKind, TraceRecorder
 
 __all__ = [
+    "CRASH_POINTS",
+    "DecisionLog",
     "Event",
     "EventPriority",
     "EventQueue",
+    "FaultInjector",
     "Process",
     "RngRegistry",
     "RngStream",

@@ -7,7 +7,12 @@ It offers
 * ``handle_message(msg)`` — the network delivers here;
 * ``set_timer`` / ``cancel_timer`` — named timers in *global* time
   (clock-local timers are layered on top by :mod:`repro.anta`);
-* a ``terminated`` flag plus trace integration.
+* a ``terminated`` flag plus trace integration;
+* a crash–recovery lifecycle (``crash()`` / ``recover()`` with
+  ``checkpoint()`` / ``restore()`` hooks) driven by an attached
+  :class:`~repro.sim.faults.FaultInjector`.  A process without an
+  injector pays one attribute read per declared crash point and
+  nothing else.
 
 Processes deliberately do not subclass anything from :mod:`threading` —
 the simulation is sequential and deterministic.
@@ -18,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from ..errors import SimulationError
+from .decision_log import CHECKPOINT, DecisionLog
 from .events import Event, EventPriority
 from .kernel import Simulator
 from .trace import TraceKind
@@ -27,6 +33,7 @@ from .trace import TraceKind
 _TIMER = int(EventPriority.TIMER)
 _TERMINATE = TraceKind.TERMINATE
 _NOTE = TraceKind.NOTE
+_FAULT = TraceKind.FAULT
 
 
 class Process:
@@ -44,6 +51,12 @@ class Process:
         self.sim = sim
         self.name = name
         self.terminated = False
+        # Crash–recovery lifecycle; all four stay at their defaults
+        # unless a FaultInjector targets this process.
+        self.crashed = False
+        self.recovering = False
+        self.fault_injector: Optional[Any] = None
+        self.decision_log: Optional[DecisionLog] = None
         self._timers: Dict[str, Event] = {}
         # Timer labels are pure debug strings; building
         # f"{name}.timer.{id}" on every (re)arm shows up in campaign
@@ -130,7 +143,7 @@ class Process:
 
     def _fire_timer(self, timer_id: str) -> None:
         self._timers.pop(timer_id, None)
-        if not self.terminated:
+        if not self.terminated and not self.crashed:
             self.on_timer(timer_id)
 
     def on_timer(self, timer_id: str) -> None:
@@ -154,6 +167,82 @@ class Process:
         self.sim.trace.record(
             self.sim.now, _TERMINATE, self.name, reason=reason
         )
+
+    # -- crash / recovery --------------------------------------------------
+
+    def enable_durability(self) -> None:
+        """Give the process stable storage (a write-ahead DecisionLog).
+
+        Protocol code checkpoints and logs *only* when a log is present,
+        so durability — and its cost — is opt-in per process; the
+        fault injector enables it on its victim at attach time.
+        """
+        if self.decision_log is None:
+            self.decision_log = DecisionLog(owner=self.name)
+
+    def reach_crash_point(self, point: str) -> None:
+        """Report reaching a named crash point to the injector, if any."""
+        injector = self.fault_injector
+        if injector is not None:
+            injector.reach(self, point)
+
+    def crash(self) -> None:
+        """Fail-stop: lose volatile state, keep the decision log's
+        durable prefix.  The process stays registered (it will return)
+        but handles no messages and fires no timers while down; the
+        network drops traffic addressed to it.  ``terminated`` is NOT
+        set — termination is monotone and the session's stop condition
+        relies on that.
+        """
+        if self.terminated or self.crashed:
+            return
+        self.crashed = True
+        self.cancel_all_timers()
+        if self.decision_log is not None:
+            self.decision_log.crash()
+        self.sim.trace.record(self.sim.now, _FAULT, self.name, fault="crash")
+
+    def recover(self) -> None:
+        """Return from a crash: replay the log, then rejoin the protocol.
+
+        The replay runs in an explicit RECOVERING phase (``recovering``
+        is ``True`` inside :meth:`restore` and the trace carries the
+        phase markers), mirroring the 2PC recovery state-machine split.
+        """
+        if self.terminated or not self.crashed:
+            return
+        self.crashed = False
+        self.recovering = True
+        self.sim.trace.record(
+            self.sim.now, _FAULT, self.name, fault="recovering"
+        )
+        try:
+            self.restore()
+        finally:
+            self.recovering = False
+        if not self.terminated:
+            self.sim.trace.record(
+                self.sim.now, _FAULT, self.name, fault="recovered"
+            )
+
+    def checkpoint(self) -> None:
+        """Fsync a checkpoint of the durable state, if storage exists."""
+        log = self.decision_log
+        if log is not None:
+            log.append(CHECKPOINT, **self._durable_state())
+            log.sync()
+
+    def _durable_state(self) -> Dict[str, Any]:
+        """What a checkpoint records.  Subclasses override."""
+        return {}
+
+    def restore(self) -> None:
+        """Replay the decision log and rejoin.  Subclasses override.
+
+        Called by :meth:`recover` with ``recovering`` set; the base
+        implementation does nothing (a stateless process needs no
+        replay).
+        """
 
     def note(self, text: str, **data: Any) -> None:
         """Record a free-form annotation in the trace."""

@@ -73,6 +73,7 @@ class _LivePayment:
         "baseline",
         "deadline_event",
         "done",
+        "faults",
     )
 
 
@@ -109,11 +110,13 @@ def run_workload_cell(
     ``k``).
     """
     from ..core.session import PaymentSession
+    from ..net.adversary import CrashRestartAdversary
     from ..scenarios.registry import (
         make_adversary,
         protocol_defaults,
         timing_descriptor,
     )
+    from ..sim.faults import FaultInjector
     from ..scenarios.trial import _timing_for, _topology_for
     from ..sim.trace import CHECKER_KINDS
     from ..verification.properties import definition_profile, property_columns
@@ -204,6 +207,13 @@ def run_workload_cell(
             "leaves": entry.topology.leaves,
             "depth": entry.topology.depth,
         }
+        if entry.faults is not None:
+            # Recovery columns appear only on crash-restart cells, so
+            # every pre-existing workload record stays byte-identical.
+            values["crashed"] = entry.faults.crashed_at is not None
+            values["crash_point"] = entry.faults.point
+            values["crash_downtime"] = entry.faults.downtime
+            values["recovered_at"] = entry.faults.recovered_at
         values.update(
             property_columns(
                 outcome,
@@ -255,11 +265,19 @@ def run_workload_cell(
         # Fresh adversary per payment: campaign trials reuse one cached
         # instance with reset-between-runs, which is only sound because
         # solo runs never overlap; workload sessions do.
+        payment_adversary = make_adversary(adversary, topology)
+        injector = None
+        if isinstance(payment_adversary, CrashRestartAdversary):
+            injector = FaultInjector(
+                payment_adversary.victim,
+                payment_adversary.point,
+                payment_adversary.downtime,
+            )
         session = PaymentSession(
             topology,
             protocol,
             timing_model,
-            adversary=make_adversary(adversary, topology),
+            adversary=payment_adversary,
             seed=payment_seed,
             rho=rho,
             horizon=horizon,
@@ -267,6 +285,7 @@ def run_workload_cell(
             trace_kinds=trace_kinds,
             sim=view,
             funding=fund,
+            faults=injector,
         )
         participants = session.launch()
         entry = _LivePayment()
@@ -278,6 +297,7 @@ def run_workload_cell(
         entry.pending = list(participants)
         entry.baseline = kernel.executed_events
         entry.done = False
+        entry.faults = injector
         entry.deadline_event = kernel.schedule_at(
             entry.deadline, _expire, entry,
             priority=DEADLINE_PRIORITY, label="workload.deadline",

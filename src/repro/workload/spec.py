@@ -26,7 +26,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import WorkloadError
+from ..errors import ScenarioError, WorkloadError
 from ..runtime.aggregate import TrialRecord
 from ..runtime.persist import record_to_dict
 from ..runtime.spec import SweepSpec, TrialSpec, derive_seed
@@ -148,9 +148,9 @@ class WorkloadSpec:
 
     def validate(self) -> None:
         from ..scenarios.registry import (
-            ADVERSARIES,
             PROTOCOLS,
             TIMINGS,
+            check_adversary,
             check_topology,
         )
 
@@ -173,11 +173,12 @@ class WorkloadSpec:
             raise WorkloadError(
                 f"unknown timing {self.timing!r}; available: {', '.join(TIMINGS)}"
             )
-        if self.adversary not in ADVERSARIES:
-            raise WorkloadError(
-                f"unknown adversary {self.adversary!r}; "
-                f"available: {', '.join(ADVERSARIES)}"
-            )
+        try:
+            # Accepts registry names and pattern families alike, so a
+            # workload can sweep ``crash-restart-<point>-d<D>`` cells.
+            check_adversary(self.adversary)
+        except ScenarioError as exc:
+            raise WorkloadError(str(exc)) from None
         for kind, _weight in self.topology_mix:
             check_topology(kind)
         if self.arrivals not in ARRIVAL_PROCESSES:

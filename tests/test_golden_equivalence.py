@@ -109,11 +109,30 @@ def _golden_sweep():
         seed=7,
         campaign_id="golden",
     )
+    # PR 9 (crash-recovery): every protocol crashed at every declared
+    # crash point, appended after the fan-in cells so all earlier lines
+    # stay a byte-identical prefix.  These lines pin the recovery
+    # machinery itself — crash scheduling, log replay, retransmission,
+    # and the recovery record columns — against drift.
+    recovery = CampaignSpec(
+        protocols=["timebounded", "htlc", "weak", "certified"],
+        timings=["sync"],
+        adversaries=[
+            "crash-restart-pre-decision-d1",
+            "crash-restart-post-sign-pre-send-d1",
+            "crash-restart-post-send-d1",
+        ],
+        topologies=["linear-3"],
+        trials=2,
+        seed=7,
+        campaign_id="golden",
+    )
     return (
         shapes.compile()
         .extend(protocols.compile())
         .extend(graphs.compile())
         .extend(fanin.compile())
+        .extend(recovery.compile())
     )
 
 

@@ -69,6 +69,7 @@ def find_gaps(root: Path = ROOT) -> List[str]:
         from repro.analysis.cli import cli_flags
         from repro.analysis.query import METRICS
         from repro.scenarios.registry import TOPOLOGY_BUILDERS, axis_descriptions
+        from repro.sim.faults import CRASH_POINT_DOCS, CRASH_POINTS
         from repro.workload.cli import cli_flags as workload_cli_flags
     finally:
         sys.path.pop(0)
@@ -103,6 +104,20 @@ def find_gaps(root: Path = ROOT) -> List[str]:
                 problems.append(
                     f"{rel}: topology pattern `{kind}-N` not documented"
                 )
+
+    # Crash points: the ``crash-restart`` adversary family is named by
+    # its crash points (``crash-restart-<point>-d<D>``), so every
+    # declared point must be documented (backticked) wherever the axis
+    # tables live — a new crash point cannot land undocumented.
+    for point in CRASH_POINTS:
+        if not (CRASH_POINT_DOCS.get(point) or "").strip():
+            problems.append(
+                f"registry: crash point {point!r} has no description "
+                "(CRASH_POINT_DOCS)"
+            )
+        for rel, text in texts.items():
+            if f"`{point}`" not in text:
+                problems.append(f"{rel}: crash point `{point}` not documented")
 
     # The analyze subcommand: every metric and every CLI flag must be
     # documented (backticked) in the analysis cookbook, from the same
