@@ -224,14 +224,20 @@ class SimpleChain(Process):
             txs = ()
         block = Block(height=height, produced_at=now, txs=txs)
         self.blocks.append(block)
-        sim.trace.record(
-            now,
-            _STATE,
-            self.name,
-            state="block",
-            height=height,
-            txs=len(txs),
-        )
+        # Block ticks dominate campaign event counts; reduced-mode
+        # recorders filter STATE anyway, so checking the keep set here
+        # skips the record call (and its kwargs dict) per empty tick.
+        trace = sim.trace
+        keep = trace._keep
+        if keep is None or _STATE in keep:
+            trace.record(
+                now,
+                _STATE,
+                self.name,
+                state="block",
+                height=height,
+                txs=len(txs),
+            )
         if txs:
             final_at = now + self.confirmations * self.block_interval
             ctx_base = dict(block_height=height, block_time=block.produced_at)

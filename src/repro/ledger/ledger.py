@@ -100,8 +100,15 @@ class Ledger:
         return self.sim.now if self.sim is not None else 0.0
 
     def _trace(self, kind: TraceKind, **data: object) -> None:
-        if self.sim is not None:
-            self.sim.trace.record(self._now(), kind, self.name, **data)
+        sim = self.sim
+        if sim is None:
+            return
+        # Reduced-mode recorders filter every ledger kind; checking the
+        # keep set first skips the record call on the campaign hot path.
+        trace = sim.trace
+        keep = trace._keep
+        if keep is None or kind in keep:
+            trace.record(sim.now, kind, self.name, **data)
 
     def _notify(self, op: str) -> None:
         observer = self.observer

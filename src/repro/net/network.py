@@ -73,6 +73,15 @@ class Network:
         self.stats = NetworkStats()
         self._processes: Dict[str, Process] = {}
         self._rng = sim.rng.stream("network.delays")
+        # Non-interfering adversaries (anything that inherits the base
+        # ``propose_delay``) always answer ``None``; skipping the call
+        # sheds a Python frame per send on the honest-network hot path.
+        adv = self.adversary
+        self._propose = (
+            adv.propose_delay
+            if type(adv).propose_delay is not Adversary.propose_delay
+            else None
+        )
 
     # -- registration -----------------------------------------------------
 
@@ -114,7 +123,7 @@ class Network:
         so protocol code cannot spoof the envelope-level sender — the
         mechanical version of "Byzantine model with authentication".
         """
-        if sender.name not in self._processes or self._processes[sender.name] is not sender:
+        if self._processes.get(sender.name) is not sender:
             raise NetworkError(
                 f"process {sender.name!r} is not registered with this network"
             )
@@ -129,27 +138,36 @@ class Network:
             payload=payload,
             send_time=now,
         )
-        proposal = self.adversary.propose_delay(envelope, now)
+        propose = self._propose
+        proposal = propose(envelope, now) if propose is not None else None
         deliver_at = self.timing.delivery_time(envelope, now, self._rng, proposal)
         stats = self.stats
         stats.sent += 1
         kind_value = kind.value
         stats.by_kind[kind_value] = stats.by_kind.get(kind_value, 0) + 1
-        sim.trace.record(
-            now,
-            _SEND,
-            sender.name,
-            to=recipient,
-            msg_kind=kind_value,
-            msg_id=envelope.msg_id,
-            deliver_at=deliver_at,
-        )
+        # Reduced-mode recorders filter SEND out anyway; checking the
+        # keep set here skips the record call (and its kwargs dict) on
+        # the campaign hot path.  ``_keep`` is the recorder's own
+        # filter set — read directly, like the kernel reads the
+        # queue's ``_heap``.
+        trace = sim.trace
+        keep = trace._keep
+        if keep is None or _SEND in keep:
+            trace.record(
+                now,
+                _SEND,
+                sender.name,
+                to=recipient,
+                msg_kind=kind_value,
+                msg_id=envelope.msg_id,
+                deliver_at=deliver_at,
+            )
         sim.schedule_at(
             deliver_at,
             self._deliver,
             envelope,
             priority=_DELIVERY,
-            label=f"deliver:{envelope.describe()}",
+            label="deliver",
         )
         return envelope
 
@@ -161,15 +179,18 @@ class Network:
         stats = self.stats
         stats.delivered += 1
         stats.total_latency += latency
-        sim.trace.record(
-            now,
-            _RECEIVE,
-            envelope.recipient,
-            frm=envelope.sender,
-            msg_kind=envelope.kind.value,
-            msg_id=envelope.msg_id,
-            latency=latency,
-        )
+        trace = sim.trace
+        keep = trace._keep
+        if keep is None or _RECEIVE in keep:
+            trace.record(
+                now,
+                _RECEIVE,
+                envelope.recipient,
+                frm=envelope.sender,
+                msg_kind=envelope.kind.value,
+                msg_id=envelope.msg_id,
+                latency=latency,
+            )
         # A crashed process is down: traffic addressed to it during the
         # downtime is lost with its volatile state (fail-stop model).
         if process is not None and not process.terminated and not process.crashed:

@@ -22,6 +22,7 @@ constraint".
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from math import log as _log
 from typing import Optional
 
 from ..errors import TimingModelError
@@ -93,13 +94,45 @@ class Synchronous(TimingModel):
         self.min_delay = float(min_delay)
         self.jitter = float(jitter)
         self.known_bound = self.delta
+        # Hoisted jitter window: ``hi`` and the span are pure functions
+        # of the constructor arguments, so the per-message sample pays
+        # one multiply-add instead of recomputing the window.  The span
+        # equals ``hi - min_delay`` exactly, so the inline draw below
+        # reproduces ``rng.uniform(min_delay, hi)`` bit for bit
+        # (CPython's uniform is ``a + (b - a) * random()``).
+        self._jitter_hi = self.min_delay + self.jitter * (self.delta - self.min_delay)
+        self._jitter_span = self._jitter_hi - self.min_delay
 
     def sample_delay(self, envelope: Envelope, send_time: float, rng: RngStream) -> float:
-        hi = self.min_delay + self.jitter * (self.delta - self.min_delay)
-        return rng.uniform(self.min_delay, hi) if hi > self.min_delay else self.min_delay
+        span = self._jitter_span
+        if span > 0.0:
+            return self.min_delay + span * rng.random()
+        return self.min_delay
 
     def clamp(self, envelope: Envelope, send_time: float, proposed_delay: float) -> float:
         return min(max(proposed_delay, self.min_delay), self.delta)
+
+    def delivery_time(
+        self,
+        envelope: Envelope,
+        send_time: float,
+        rng: RngStream,
+        proposed_delay: Optional[float] = None,
+    ) -> float:
+        # Fused fast path for the common no-proposal send: the sampled
+        # delay is ≥ min_delay by construction, so validation cannot
+        # fire and only the upper clamp can bind (when ``hi`` rounds a
+        # hair above delta) — two method frames shed per message, with
+        # the same floats as the sample/validate/clamp base path.
+        if proposed_delay is None:
+            span = self._jitter_span
+            if span > 0.0:
+                delay = self.min_delay + span * rng.random()
+                if delay > self.delta:
+                    delay = self.delta
+                return send_time + delay
+            return send_time + self.min_delay
+        return TimingModel.delivery_time(self, envelope, send_time, rng, proposed_delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Synchronous(delta={self.delta}, min_delay={self.min_delay})"
@@ -136,6 +169,11 @@ class PartialSynchrony(TimingModel):
         self.delta = float(delta)
         self.pre_gst_scale = float(pre_gst_scale)
         self.known_bound = None
+        # Hoisted exponential rate: same float the old per-call
+        # ``1.0 / (pre_gst_scale * delta)`` produced, computed once.
+        self._pre_gst_lambd = (
+            1.0 / (self.pre_gst_scale * self.delta) if self.pre_gst_scale > 0 else 0.0
+        )
 
     def deadline(self, send_time: float) -> float:
         """Latest permitted delivery instant for a ``send_time`` send."""
@@ -143,8 +181,16 @@ class PartialSynchrony(TimingModel):
 
     def sample_delay(self, envelope: Envelope, send_time: float, rng: RngStream) -> float:
         if send_time >= self.gst:
-            return rng.uniform(0.0, self.delta)
-        raw = rng.expovariate(1.0 / (self.pre_gst_scale * self.delta)) if self.pre_gst_scale > 0 else 0.0
+            # == rng.uniform(0.0, delta): CPython's uniform is
+            # ``a + (b - a) * random()`` and ``0.0 + x`` is ``x`` for
+            # every non-negative ``x``, so one multiply replaces the
+            # method frame with the same draw and the same float.
+            return self.delta * rng.random()
+        if self.pre_gst_scale > 0:
+            # == rng.expovariate(lambd): ``-log(1 - random()) / lambd``.
+            raw = -_log(1.0 - rng.random()) / self._pre_gst_lambd
+        else:
+            raw = 0.0
         return min(raw, self.deadline(send_time) - send_time)
 
     def clamp(self, envelope: Envelope, send_time: float, proposed_delay: float) -> float:
@@ -171,9 +217,11 @@ class Asynchronous(TimingModel):
         self.mean_delay = float(mean_delay)
         self.max_delay = float(max_delay)
         self.known_bound = None
+        self._lambd = 1.0 / self.mean_delay
 
     def sample_delay(self, envelope: Envelope, send_time: float, rng: RngStream) -> float:
-        return min(rng.expovariate(1.0 / self.mean_delay), self.max_delay)
+        # == rng.expovariate(1.0 / mean_delay), one frame cheaper.
+        return min(-_log(1.0 - rng.random()) / self._lambd, self.max_delay)
 
     def clamp(self, envelope: Envelope, send_time: float, proposed_delay: float) -> float:
         return min(proposed_delay, self.max_delay)

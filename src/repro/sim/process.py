@@ -88,7 +88,11 @@ class Process:
         Re-arming an existing timer cancels the previous instance, so a
         timer id always refers to at most one pending expiration.
         """
-        self.cancel_timer(timer_id)
+        # Inlined cancel_timer: every (re)arm pays this, and most arms
+        # (fresh timers, post-fire re-arms) find nothing to cancel.
+        prev = self._timers.pop(timer_id, None)
+        if prev is not None and not prev.cancelled and not prev.fired:
+            self.sim.cancel(prev)
         event = self.sim.schedule(
             delay,
             self._fire_timer,
@@ -112,7 +116,9 @@ class Process:
         ``time`` has already passed means the condition is already true,
         so the timer fires immediately (at the current instant).
         """
-        self.cancel_timer(timer_id)
+        prev = self._timers.pop(timer_id, None)
+        if prev is not None and not prev.cancelled and not prev.fired:
+            self.sim.cancel(prev)
         event = self.sim.schedule_at(
             max(time, self.sim.now),
             self._fire_timer,

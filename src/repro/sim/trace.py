@@ -19,7 +19,6 @@ outcome's record columns keep just the checker-relevant kinds
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import (
     Any,
@@ -61,9 +60,14 @@ CHECKER_KINDS: FrozenSet[TraceKind] = frozenset(
 )
 
 
-@dataclass(frozen=True)
 class TraceEvent:
     """One recorded observation.
+
+    A hand-written ``__slots__`` class rather than a dataclass: one
+    instance is built per recorded event, which makes construction the
+    hottest allocation in full-trace runs (a frozen dataclass pays an
+    ``object.__setattr__`` per field).  Instances are immutable by
+    convention — nothing in the repo mutates a recorded event.
 
     Attributes
     ----------
@@ -79,15 +83,36 @@ class TraceEvent:
         Position in the trace; a total order consistent with time.
     """
 
-    time: float
-    kind: TraceKind
-    actor: str
-    data: Dict[str, Any] = field(default_factory=dict)
-    seq: int = 0
+    __slots__ = ("time", "kind", "actor", "data", "seq")
+
+    def __init__(
+        self,
+        time: float,
+        kind: TraceKind,
+        actor: str,
+        data: Optional[Dict[str, Any]] = None,
+        seq: int = 0,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.actor = actor
+        self.data = data if data is not None else {}
+        self.seq = seq
 
     def get(self, key: str, default: Any = None) -> Any:
         """Payload lookup shorthand."""
         return self.data.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.kind == other.kind
+            and self.actor == other.actor
+            and self.data == other.data
+            and self.seq == other.seq
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -134,9 +159,7 @@ class TraceRecorder:
         if self._keep is not None and kind not in self._keep:
             return None
         events = self._events
-        event = TraceEvent(
-            time=time, kind=kind, actor=actor, data=data, seq=len(events)
-        )
+        event = TraceEvent(time, kind, actor, data, len(events))
         events.append(event)
         by_kind = self._by_kind.get(kind)
         if by_kind is None:
