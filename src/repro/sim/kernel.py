@@ -16,6 +16,7 @@ suite reproducible and the bounded explorer sound.
 from __future__ import annotations
 
 from heapq import heappop as _heappop, heappush as _heappush
+from sys import getrefcount as _getrefcount
 from typing import Any, Callable, List, Optional
 
 from ..errors import SchedulingError, SimulationError
@@ -111,17 +112,21 @@ class Simulator:
         if not (delay >= 0.0):  # also rejects NaN
             raise SchedulingError(f"negative or NaN delay: {delay!r}")
         # Inlined fast path: this is the hottest call in the repo
-        # (every timer/delivery goes through it), so the event is
-        # built field-by-field (skipping the Event.__init__ frame) and
-        # pushed straight into the queue's heap (skipping push_new).
-        # `time >= now` holds by construction, so `time < inf` is the
-        # whole finiteness check (NaN compares false and is rejected).
+        # (every timer/delivery goes through it), so the event comes
+        # off the queue's slab free list when one is available (built
+        # field-by-field either way, skipping the Event.__init__
+        # frame) and is pushed straight into the queue's heap
+        # (skipping push_new).  `time >= now` holds by construction,
+        # so `time < inf` is the whole finiteness check (NaN compares
+        # false and is rejected).
         time = self._now + delay
         if not (time < _INF):
             raise SchedulingError(f"non-finite event time: {time!r}")
         if priority.__class__ is not int:
             priority = int(priority)
-        event = _EVENT_NEW(Event)
+        queue = self._queue
+        free = queue._free
+        event = free.pop() if free else _EVENT_NEW(Event)
         event.time = time
         event.priority = priority
         event.fn = fn
@@ -131,7 +136,6 @@ class Simulator:
         event.cancelled = False
         event.fired = False
         event._counted = True
-        queue = self._queue
         _heappush(queue._heap, (time, priority, seq, event))
         queue._live += 1
         return event
@@ -156,7 +160,9 @@ class Simulator:
             raise SchedulingError(f"non-finite event time: {time!r}")
         if priority.__class__ is not int:
             priority = int(priority)
-        event = _EVENT_NEW(Event)
+        queue = self._queue
+        free = queue._free
+        event = free.pop() if free else _EVENT_NEW(Event)
         event.time = time
         event.priority = priority
         event.fn = fn
@@ -166,7 +172,6 @@ class Simulator:
         event.cancelled = False
         event.fired = False
         event._counted = True
-        queue = self._queue
         _heappush(queue._heap, (time, priority, seq, event))
         queue._live += 1
         return event
@@ -253,8 +258,22 @@ class Simulator:
         # times are always finite, so a missing horizon/event budget
         # normalises to infinity and each needs just one comparison
         # per event.
+        #
+        # Slab recycling: a spent event (fired, or discarded as a dead
+        # head) goes back on the queue's free list *only* when exactly
+        # three references remain — the popped heap entry still held by
+        # `head`, the `event` local, and getrefcount's own argument.
+        # Any external holder (a timer table, a handle a test kept, a
+        # protocol field) raises the count and vetoes the recycle, so
+        # a handle someone can still cancel() through is never reused
+        # — PR 2's cancel-after-fire no-op contract survives.  Events
+        # have no __weakref__ slot, so no hidden referrers exist.
         queue = self._queue
         heap = queue._heap
+        free = queue._free
+        free_append = free.append
+        heappop = _heappop  # local binding: LOAD_FAST in the loop
+        getrefcount = _getrefcount
         conditions = self._stop_conditions
         horizon = until if until is not None else _INF
         budget = max_events if max_events is not None else _INF
@@ -272,16 +291,20 @@ class Simulator:
                 head = heap[0]
                 event = head[3]
                 if event.cancelled or event.fired:
-                    _heappop(heap)  # discard the dead head lazily
+                    heappop(heap)  # discard the dead head lazily
                     if event._counted:
                         event._counted = False
                         queue._live -= 1
+                    if getrefcount(event) == 3:
+                        event.fn = None
+                        event.args = None
+                        free_append(event)
                     continue
                 time = head[0]
                 if time > horizon:
                     exhausted = True
                     break
-                _heappop(heap)
+                heappop(heap)
                 # A live event in the kernel's own queue is always
                 # counted (schedule/push set the flag; every uncount
                 # also kills the event), so no membership re-check.
@@ -292,6 +315,10 @@ class Simulator:
                 self._executed += 1
                 event.fired = True
                 event.fn(*event.args)
+                if getrefcount(event) == 3:
+                    event.fn = None
+                    event.args = None
+                    free_append(event)
                 if conditions:
                     stop = False
                     for condition in conditions:
@@ -307,6 +334,34 @@ class Simulator:
             # remains — including on an empty queue.
             self._now = until
         return executed
+
+    # -- arena lifecycle --------------------------------------------------
+
+    def reset(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        """Return the simulator to a freshly constructed state.
+
+        The arena lifecycle: one simulator serves many trials.  The
+        clock, executed-event count, stop conditions, and stop flag are
+        cleared; the random registry is rebuilt from ``seed`` and the
+        trace replaced (a fresh full recorder when ``trace`` is
+        omitted) — exactly the state ``__init__`` would produce.  The
+        event queue keeps its slab of recycled event shells, so
+        steady-state arena trials allocate no new events.
+
+        Raises
+        ------
+        SimulationError
+            If called re-entrantly from inside :meth:`run`.
+        """
+        if self._running:
+            raise SimulationError("cannot reset a running Simulator")
+        self._now = 0.0
+        self._queue.reset()
+        self._stopped = False
+        self._executed = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._stop_conditions.clear()
 
     # -- introspection ----------------------------------------------------
 

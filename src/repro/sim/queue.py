@@ -48,6 +48,14 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[_Entry] = []
         self._live = 0
+        #: Slab free list of spent :class:`Event` shells.  The kernel
+        #: recycles an event here after it fires (or is discarded as a
+        #: dead head) *only* when it can prove no external reference to
+        #: the object survives — see ``Simulator.run`` — and pops the
+        #: shell back out in ``Simulator.schedule`` instead of
+        #: allocating.  Like ``_heap``, mutated only in place so the
+        #: kernel may hoist a reference to it.
+        self._free: List[Event] = []
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -150,6 +158,18 @@ class EventQueue:
             entry[3]._counted = False
         self._heap.clear()
         self._live = 0
+
+    def reset(self) -> None:
+        """Drop all events but keep the recycled-event slab.
+
+        The arena lifecycle: one queue serves many trials.  Pending
+        events from the previous trial are discarded (they may still be
+        referenced by the previous trial's processes, so they are *not*
+        recycled into the slab), while the slab itself — spent shells
+        the kernel proved unreferenced — carries over, so steady-state
+        trials allocate no new events at all.
+        """
+        self.clear()
 
     def iter_pending(self) -> Iterator[Event]:
         """Iterate live events in *heap* order (not sorted).

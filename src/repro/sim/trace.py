@@ -152,6 +152,16 @@ class TraceRecorder:
         """The reduced-mode kind set, or ``None`` for full recording."""
         return self._keep
 
+    def reset(self) -> None:
+        """Forget every recorded event, keeping the ``keep`` filter.
+
+        The arena lifecycle: one recorder serves many trials; a reset
+        recorder records exactly like a freshly constructed one with
+        the same ``keep`` set.
+        """
+        self._events.clear()
+        self._by_kind.clear()
+
     def record(
         self, time: float, kind: TraceKind, actor: str, /, **data: Any
     ) -> Optional[TraceEvent]:
