@@ -36,6 +36,7 @@ from ..net.adversary import Adversary
 from ..net.network import Network
 from ..net.timing import TimingModel
 from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
 from ..sim.view import SessionView
 from .outcomes import BalanceSnapshot, PaymentOutcome, snapshot_balances
 from .topology import PaymentGraph
@@ -82,6 +83,39 @@ class PaymentEnv:
 
 
 ProtocolFactory = Callable[[PaymentEnv], "Any"]
+
+
+class SessionArena:
+    """A reusable world shell for many sessions of one cell shape.
+
+    Campaigns and workloads run the same (protocol, topology-shape)
+    cell thousands of times.  An arena keeps the *mutable* world parts
+    — the simulator (or :class:`~repro.sim.view.SessionView`), the
+    network, and the ledger shells — and every
+    :class:`PaymentSession` built with ``arena=`` **resets** them in
+    place instead of rebuilding: the kernel keeps its recycled event
+    slab (and the heap list its capacity), the network keeps its
+    cleared routing table, and each ledger keeps its shell.  Protocol
+    participants are still built fresh per run — they are cheap,
+    state-heavy objects — and registered into the reset network, so a
+    trial on a reused arena draws the same RNG values, schedules the
+    same events, and emits the same trace as one on a fresh build.
+
+    The first session built with an empty arena populates it; later
+    sessions reuse it.  Reuse contract: a run's outcome and trace must
+    be consumed before the arena's next session builds (the reset
+    mutates the same trace recorder and ledgers in place), the arena
+    is single-threaded, and it never crosses worker processes.
+    """
+
+    __slots__ = ("sim", "network", "ledgers", "runs")
+
+    def __init__(self) -> None:
+        self.sim: Optional[Union[Simulator, SessionView]] = None
+        self.network: Optional[Network] = None
+        self.ledgers: Dict[str, Ledger] = {}
+        #: Sessions built on this arena so far (diagnostics/tests).
+        self.runs = 0
 
 
 class PaymentSession:
@@ -140,6 +174,12 @@ class PaymentSession:
         the crash-restart adversary: it is attached to the protocol's
         participants after ``build()``, giving its victim durable
         storage and crashing it at the configured crash point.
+    arena:
+        Optional :class:`SessionArena`.  An empty arena is populated
+        by this session's world; a populated one is *reset and
+        reused* instead of rebuilt — byte-identical behaviour, no
+        per-trial reconstruction.  Combine with ``sim=`` only on the
+        arena's first session (the view is then kept in the arena).
     """
 
     DEFAULT_HORIZON = 1_000_000.0
@@ -161,6 +201,7 @@ class PaymentSession:
         sim: Optional[Union[Simulator, SessionView]] = None,
         funding: Optional[FundingHook] = None,
         faults: Optional[Any] = None,
+        arena: Optional[SessionArena] = None,
     ) -> None:
         self.topology = topology
         self.protocol_ref = protocol
@@ -177,6 +218,7 @@ class PaymentSession:
         self.sim_override = sim
         self.funding = funding
         self.faults = faults
+        self.arena = arena
         # Populated by launch()/run():
         self.env: Optional[PaymentEnv] = None
         self.protocol_instance: Any = None
@@ -184,23 +226,62 @@ class PaymentSession:
 
     # -- world construction -------------------------------------------------
 
-    def _build_env(self) -> PaymentEnv:
-        if self.sim_override is not None:
-            sim = self.sim_override
-        elif self.trace_kinds is not None:
-            from ..sim.trace import TraceRecorder
+    def _reset_arena(self, arena: SessionArena):
+        """Re-point a populated arena's world at this session's config.
 
-            sim = Simulator(seed=self.seed, trace=TraceRecorder(keep=self.trace_kinds))
+        The reset mirror of the fresh build below: same seed, same
+        trace level, same timing/adversary wiring — only the object
+        identities (and the kernel's event slab) carry over.
+        """
+        sim = arena.sim
+        trace = sim.trace
+        if trace.keep == self.trace_kinds:
+            trace.reset()
         else:
-            sim = Simulator(seed=self.seed)
-        network = Network(sim, self.timing, self.adversary)
-        keyring = KeyRing(domain=self.topology.payment_id)
+            trace = TraceRecorder(keep=self.trace_kinds)
+        sim.reset(self.seed, trace=trace)
+        network = arena.network
+        network.reset(self.timing, self.adversary)
+        pool = arena.ledgers
         ledgers: Dict[str, Ledger] = {}
         for edge in self.topology.edges:
-            ledger = Ledger(name=edge.escrow, sim=sim)
+            ledger = pool.get(edge.escrow)
+            if ledger is None:
+                ledger = pool[edge.escrow] = Ledger(name=edge.escrow, sim=sim)
+            else:
+                ledger.reset()
             ledger.open_account(edge.upstream)
             ledger.open_account(edge.downstream)
             ledgers[edge.escrow] = ledger
+        arena.runs += 1
+        return sim, network, ledgers
+
+    def _build_env(self) -> PaymentEnv:
+        arena = self.arena
+        if arena is not None and arena.network is not None:
+            sim, network, ledgers = self._reset_arena(arena)
+        else:
+            if self.sim_override is not None:
+                sim = self.sim_override
+            elif self.trace_kinds is not None:
+                sim = Simulator(
+                    seed=self.seed, trace=TraceRecorder(keep=self.trace_kinds)
+                )
+            else:
+                sim = Simulator(seed=self.seed)
+            network = Network(sim, self.timing, self.adversary)
+            ledgers = {}
+            for edge in self.topology.edges:
+                ledger = Ledger(name=edge.escrow, sim=sim)
+                ledger.open_account(edge.upstream)
+                ledger.open_account(edge.downstream)
+                ledgers[edge.escrow] = ledger
+            if arena is not None:
+                arena.sim = sim
+                arena.network = network
+                arena.ledgers.update(ledgers)
+                arena.runs += 1
+        keyring = KeyRing(domain=self.topology.payment_id)
         if self.funding is not None:
             self.funding(self.topology, ledgers)
         else:
@@ -326,4 +407,4 @@ class PaymentSession:
         return self.collect()
 
 
-__all__ = ["FundingHook", "PaymentEnv", "PaymentSession"]
+__all__ = ["FundingHook", "PaymentEnv", "PaymentSession", "SessionArena"]

@@ -94,6 +94,24 @@ class Ledger:
         #: invariant harnesses use to audit conservation at every step.
         self.observer: Optional[Callable[["Ledger", str], None]] = None
 
+    # -- arena lifecycle ----------------------------------------------------
+
+    def reset(self, sim: Optional[Simulator] = None) -> None:
+        """Return the ledger to a freshly constructed state (same name).
+
+        The arena lifecycle: one ledger shell serves many trials.
+        Accounts, locks, mint totals, and the observer hook are all
+        dropped; ``sim`` (when given) rebinds trace integration —
+        callers reusing the ledger on an in-place-reset simulator can
+        omit it.
+        """
+        if sim is not None:
+            self.sim = sim
+        self._accounts.clear()
+        self._locks.clear()
+        self._minted.clear()
+        self.observer = None
+
     # -- time / trace helpers ---------------------------------------------
 
     def _now(self) -> float:

@@ -83,6 +83,35 @@ class Network:
             else None
         )
 
+    # -- arena lifecycle ---------------------------------------------------
+
+    def reset(
+        self,
+        timing: Optional[TimingModel] = None,
+        adversary: Optional[Adversary] = None,
+    ) -> None:
+        """Return the network to a freshly constructed state.
+
+        The arena lifecycle: one network serves many trials.  Traffic
+        counters, the process table, and the adversary fast path are
+        rebuilt exactly as ``__init__`` would build them; ``timing``
+        (when given) replaces the model.  Call this *after* resetting
+        the owning simulator/view — the delay stream must come off the
+        new RNG registry.
+        """
+        if timing is not None:
+            self.timing = timing
+        adv = adversary if adversary is not None else NullAdversary()
+        self.adversary = adv
+        self.stats = NetworkStats()
+        self._processes.clear()
+        self._rng = self.sim.rng.stream("network.delays")
+        self._propose = (
+            adv.propose_delay
+            if type(adv).propose_delay is not Adversary.propose_delay
+            else None
+        )
+
     # -- registration -----------------------------------------------------
 
     def register(self, process: Process) -> Process:

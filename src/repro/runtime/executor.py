@@ -13,6 +13,13 @@ method.  A trial that raises is *captured* into its record (with the
 formatted traceback) rather than poisoning the pool; callers decide via
 :meth:`SweepResult.raise_any` whether that is fatal.
 
+Workers are long-lived on purpose: the pool is reused across sweeps,
+so each worker process accumulates the trial module's per-worker state
+— topology/timing/adversary template caches and the mutable
+per-(protocol, topology) :class:`~repro.core.session.SessionArena`s
+(see :mod:`repro.scenarios.trial`) — and amortises world construction
+across every trial it executes, not just within one sweep.
+
 Worker count resolution, in precedence order: explicit argument, the
 ``REPRO_JOBS`` environment variable, serial.
 """

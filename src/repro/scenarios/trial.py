@@ -17,9 +17,14 @@ timing model, and adversary are each built once per distinct option set
 and reused.  Topologies are immutable and shared via
 :meth:`~repro.core.topology.PaymentGraph.with_payment_id` relabelling;
 timing models are stateless; adversaries are stateful and therefore
-:meth:`~repro.net.adversary.Adversary.reset` before every run.  None of
-this changes any trial's event sequence or RNG draws — it only skips
-redundant construction work.
+:meth:`~repro.net.adversary.Adversary.reset` before every run.  The
+mutable world itself — simulator, network, ledgers — lives in a
+per-(protocol, topology) :class:`~repro.core.session.SessionArena`
+that each trial *resets* instead of rebuilding, so the kernel's
+recycled event slab survives from trial to trial and steady-state
+cells allocate no events at all.  None of this changes any trial's
+event sequence or RNG draws — it only skips redundant construction
+work.
 """
 
 from __future__ import annotations
@@ -36,6 +41,14 @@ _TIMING_MODELS: Dict[Tuple[str, Tuple[Tuple[str, float], ...]], Any] = {}
 
 #: (adversary name, topology name) -> adversary instance (reset per use).
 _ADVERSARIES: Dict[Tuple[str, str], Any] = {}
+
+#: (protocol, topology name) -> reusable
+#: :class:`~repro.core.session.SessionArena`: the cell's simulator
+#: (with its recycled event slab), network, and ledger shells, reset —
+#: not rebuilt — for every trial.  Like the template caches above this
+#: is per worker process, and it extends them from read-only shapes to
+#: the full mutable world.
+_ARENAS: Dict[Tuple[str, str], Any] = {}
 
 
 def _topology_for(name: str, payment_id: str) -> Any:
@@ -93,7 +106,7 @@ def _adversary_for(name: str, topology: Any, topology_name: str) -> Any:
 
 def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
     """Run one scenario trial; pure function of its spec."""
-    from ..core.session import PaymentSession
+    from ..core.session import PaymentSession, SessionArena
     from ..net.adversary import CrashRestartAdversary
     from ..sim.faults import FaultInjector
     from ..sim.trace import CHECKER_KINDS
@@ -117,9 +130,14 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
         injector = FaultInjector(
             adversary.victim, adversary.point, adversary.downtime
         )
+    protocol_name = spec.opt("protocol")
+    arena_key = (protocol_name, topology_name)
+    arena = _ARENAS.get(arena_key)
+    if arena is None:
+        arena = _ARENAS[arena_key] = SessionArena()
     session = PaymentSession(
         topology,
-        spec.opt("protocol"),
+        protocol_name,
         _timing_for(spec.opt("timing")),
         adversary=adversary,
         seed=spec.seed,
@@ -128,6 +146,7 @@ def scenario_trial(spec: TrialSpec) -> Dict[str, Any]:
         protocol_options=dict(spec.opt("protocol_options") or {}),
         trace_kinds=trace_kinds,
         faults=injector,
+        arena=arena,
     )
     outcome = session.run()
     decisions = outcome.decision_kinds_issued()

@@ -66,6 +66,21 @@ class SessionView:
         self.rng = rng if rng is not None else RngRegistry(seed)
         self.trace = trace if trace is not None else TraceRecorder()
 
+    # -- arena lifecycle -------------------------------------------------
+
+    def reset(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        """Re-seed the view for a new session on the same kernel.
+
+        The arena lifecycle: one view serves many payments.  The shared
+        kernel keeps running (time and the event queue are communal),
+        so only the session-private halves are renewed — the RNG
+        registry is rebuilt from ``seed`` and the trace replaced (a
+        fresh full recorder when ``trace`` is omitted), mirroring
+        :meth:`Simulator.reset` for the solo-kernel case.
+        """
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+
     # -- time / counters (shared) ---------------------------------------
 
     @property

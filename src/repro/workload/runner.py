@@ -74,6 +74,8 @@ class _LivePayment:
         "deadline_event",
         "done",
         "faults",
+        "kind",
+        "arena",
     )
 
 
@@ -109,7 +111,7 @@ def run_workload_cell(
     ``"payments"`` (arrival order — payment ``k``'s record is entry
     ``k``).
     """
-    from ..core.session import PaymentSession
+    from ..core.session import PaymentSession, SessionArena
     from ..net.adversary import CrashRestartAdversary
     from ..scenarios.registry import (
         make_adversary,
@@ -147,6 +149,15 @@ def run_workload_cell(
     live: List[_LivePayment] = []
     finished = 0
     audit_ops = 0
+    # Retired session arenas by topology kind: a payment that finished
+    # *quiescent* — every participant terminated and no delivery still
+    # in flight — returns its view/network/ledger shells here, and a
+    # later arrival of the same shape resets them instead of
+    # rebuilding.  A payment cut off by its deadline (or with messages
+    # still in the queue) never recycles: its stale events may yet
+    # fire, and they must keep hitting the old world's tables, exactly
+    # as they did before arenas existed.
+    arenas: Dict[str, List[SessionArena]] = {}
 
     observer = None
     if audit == "every-op":
@@ -189,7 +200,9 @@ def run_workload_cell(
             "liquidity_failed": True,
         }
 
-    def _finalize(entry: _LivePayment, end_time: float, events: int) -> None:
+    def _finalize(
+        entry: _LivePayment, end_time: float, events: int, quiescent: bool = False
+    ) -> None:
         nonlocal finished
         outcome = entry.session.collect(end_time=end_time, events_executed=events)
         substrate.retire(entry.topology.payment_id, entry.session.env.ledgers)
@@ -227,6 +240,10 @@ def run_workload_cell(
         results[entry.index] = values
         entry.done = True
         finished += 1
+        if quiescent:
+            stats = entry.session.env.network.stats
+            if stats.delivered == stats.sent:
+                arenas.setdefault(entry.kind, []).append(entry.arena)
 
     def _expire(entry: _LivePayment) -> None:
         if entry.done:  # pragma: no cover - deadline events are cancelled
@@ -244,15 +261,22 @@ def run_workload_cell(
             finished += 1
             return
         payment_seed = derive_seed(seed, index)
-        view = SessionView(
-            kernel,
-            seed=payment_seed,
-            trace=(
-                TraceRecorder(keep=trace_kinds)
-                if trace_kinds is not None
-                else TraceRecorder()
-            ),
-        )
+        free = arenas.get(kinds[index])
+        arena = free.pop() if free else SessionArena()
+        if arena.sim is not None:
+            # Populated arena: the session resets the arena's own view
+            # (new seed, new trace) during its build.
+            view = arena.sim
+        else:
+            view = SessionView(
+                kernel,
+                seed=payment_seed,
+                trace=(
+                    TraceRecorder(keep=trace_kinds)
+                    if trace_kinds is not None
+                    else TraceRecorder()
+                ),
+            )
         fund = substrate.funding_hook()
         if observer is not None:
             inner_fund = fund
@@ -286,9 +310,12 @@ def run_workload_cell(
             sim=view,
             funding=fund,
             faults=injector,
+            arena=arena,
         )
         participants = session.launch()
         entry = _LivePayment()
+        entry.kind = kinds[index]
+        entry.arena = arena
         entry.index = index
         entry.arrival = times[index]
         entry.deadline = times[index] + horizon
@@ -315,7 +342,12 @@ def run_workload_cell(
                 pending.pop()
             if not pending:
                 kernel.cancel(entry.deadline_event)
-                _finalize(entry, kernel.now, kernel.executed_events - entry.baseline)
+                _finalize(
+                    entry,
+                    kernel.now,
+                    kernel.executed_events - entry.baseline,
+                    quiescent=True,
+                )
                 prune = True
         if prune:
             live[:] = [entry for entry in live if not entry.done]
