@@ -40,9 +40,10 @@ local), and the processing before the refund/certificate send::
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..errors import ParameterError
 
@@ -169,19 +170,28 @@ def compute_params(
         raise ParameterError(f"margin must be >= 0, got {margin!r}")
     t = assumptions
     inflation = (1.0 + t.rho) if drift_tuned else 1.0
-    a_list: List[float] = []
-    d_list: List[float] = []
+    # One flat pass over pre-sized double accumulators.  ``H_i`` is
+    # affine in the hop count, so its shared subexpressions hoist out
+    # of the loop; every arithmetic grouping below matches the
+    # per-escrow ``h_bound``/``h_from_hops`` path operation for
+    # operation, keeping the windows bit-identical to the historical
+    # per-index evaluation (no running-sum shortcuts — those would
+    # change float associativity).
+    base = 2 * t.delta + t.epsilon
+    step = 4 * t.delta + 4 * t.epsilon
+    d_extra = 2.0 * inflation * t.epsilon
+    a_acc = array("d", bytes(8 * n_escrows))
+    d_acc = array("d", bytes(8 * n_escrows))
+    last = n_escrows - 1
     for i in range(n_escrows):
-        h = h_bound(n_escrows, i, t)
-        a = inflation * h + margin
-        d = a + 2.0 * inflation * t.epsilon + margin
-        a_list.append(a)
-        d_list.append(d)
+        a = inflation * (base + (last - i) * step) + margin
+        a_acc[i] = a
+        d_acc[i] = a + d_extra + margin
     return TimeoutParams(
         n_escrows=n_escrows,
         assumptions=t,
-        a=tuple(a_list),
-        d=tuple(d_list),
+        a=tuple(a_acc),
+        d=tuple(d_acc),
         drift_tuned=drift_tuned,
         margin=margin,
     )
@@ -288,14 +298,26 @@ def _graph_params_for_shape(
 ) -> GraphTimeoutParams:
     t = assumptions
     inflation = (1.0 + t.rho) if drift_tuned else 1.0
-    a_map: Dict[str, float] = {}
-    d_map: Dict[str, float] = {}
-    for escrow, hops, skew in shape:
-        h = h_from_hops(hops + skew, t)
-        a = inflation * h + margin
-        d = a + 2.0 * inflation * t.epsilon + margin
-        a_map[escrow] = a
-        d_map[escrow] = d
+    # Same flat-array single pass as :func:`compute_params`, walking
+    # the shape table in its (topologically derived) edge order.  The
+    # hop counts come straight from the graph's derived tables, so the
+    # per-entry range check of ``h_from_hops`` is vacuous here and the
+    # loop is pure arithmetic with identical grouping — the resulting
+    # windows are bit-for-bit the recursion's.
+    base = 2 * t.delta + t.epsilon
+    step = 4 * t.delta + 4 * t.epsilon
+    d_extra = 2.0 * inflation * t.epsilon
+    n = len(shape)
+    a_acc = array("d", bytes(8 * n))
+    d_acc = array("d", bytes(8 * n))
+    names = []
+    for i, (escrow, hops, skew) in enumerate(shape):
+        a = inflation * (base + (hops + skew) * step) + margin
+        a_acc[i] = a
+        d_acc[i] = a + d_extra + margin
+        names.append(escrow)
+    a_map: Dict[str, float] = dict(zip(names, a_acc))
+    d_map: Dict[str, float] = dict(zip(names, d_acc))
     return GraphTimeoutParams(
         assumptions=t,
         a=a_map,

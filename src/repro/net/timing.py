@@ -106,7 +106,7 @@ class Synchronous(TimingModel):
     def sample_delay(self, envelope: Envelope, send_time: float, rng: RngStream) -> float:
         span = self._jitter_span
         if span > 0.0:
-            return self.min_delay + span * rng.random()
+            return self.min_delay + span * rng.buffered_random()
         return self.min_delay
 
     def clamp(self, envelope: Envelope, send_time: float, proposed_delay: float) -> float:
@@ -123,11 +123,17 @@ class Synchronous(TimingModel):
         # delay is ≥ min_delay by construction, so validation cannot
         # fire and only the upper clamp can bind (when ``hi`` rounds a
         # hair above delta) — two method frames shed per message, with
-        # the same floats as the sample/validate/clamp base path.
+        # the same floats as the sample/validate/clamp base path.  The
+        # jitter uniform comes off the stream's prefetch buffer (filled
+        # in batches, consumed in draw order — the same values a scalar
+        # ``rng.random()`` would return).
         if proposed_delay is None:
             span = self._jitter_span
             if span > 0.0:
-                delay = self.min_delay + span * rng.random()
+                buf = rng._buffer
+                delay = self.min_delay + span * (
+                    buf.pop() if buf else rng.refill_uniforms()
+                )
                 if delay > self.delta:
                     delay = self.delta
                 return send_time + delay
@@ -184,11 +190,12 @@ class PartialSynchrony(TimingModel):
             # == rng.uniform(0.0, delta): CPython's uniform is
             # ``a + (b - a) * random()`` and ``0.0 + x`` is ``x`` for
             # every non-negative ``x``, so one multiply replaces the
-            # method frame with the same draw and the same float.
-            return self.delta * rng.random()
+            # method frame with the same draw and the same float (the
+            # buffered draw serves that exact value batch-prefetched).
+            return self.delta * rng.buffered_random()
         if self.pre_gst_scale > 0:
             # == rng.expovariate(lambd): ``-log(1 - random()) / lambd``.
-            raw = -_log(1.0 - rng.random()) / self._pre_gst_lambd
+            raw = -_log(1.0 - rng.buffered_random()) / self._pre_gst_lambd
         else:
             raw = 0.0
         return min(raw, self.deadline(send_time) - send_time)
@@ -220,8 +227,9 @@ class Asynchronous(TimingModel):
         self._lambd = 1.0 / self.mean_delay
 
     def sample_delay(self, envelope: Envelope, send_time: float, rng: RngStream) -> float:
-        # == rng.expovariate(1.0 / mean_delay), one frame cheaper.
-        return min(-_log(1.0 - rng.random()) / self._lambd, self.max_delay)
+        # == rng.expovariate(1.0 / mean_delay), one frame cheaper; the
+        # uniform comes off the stream's batch prefetch buffer.
+        return min(-_log(1.0 - rng.buffered_random()) / self._lambd, self.max_delay)
 
     def clamp(self, envelope: Envelope, send_time: float, proposed_delay: float) -> float:
         return min(proposed_delay, self.max_delay)
