@@ -31,6 +31,7 @@ from .query import (
     METRICS,
     Metric,
     analyze_store,
+    diff_stores,
     percentile,
 )
 from .render import RENDERERS, render, render_csv, render_json, render_text
@@ -58,6 +59,7 @@ __all__ = [
     "RENDERERS",
     "RecordStore",
     "analyze_store",
+    "diff_stores",
     "latency_stats",
     "message_flow",
     "money_flow",

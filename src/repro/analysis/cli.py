@@ -8,6 +8,7 @@ Usage::
         --metrics success,p90_latency,def1_ok
     python -m repro analyze runs/big --format json --output report.json
     python -m repro analyze runs/big --partial      # no manifest needed
+    python -m repro analyze runs/new --against runs/old   # regression diff
     python -m repro analyze --list-metrics
 
 ``DIR`` is a ``--out`` directory from ``python -m repro campaign`` (or
@@ -31,6 +32,7 @@ from .query import (
     DEFAULT_METRICS,
     METRICS,
     analyze_store,
+    diff_stores,
 )
 from .render import RENDERERS, render
 from .store import RecordStore
@@ -130,6 +132,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text, the campaign-style table)",
     )
     parser.add_argument(
+        "--against",
+        metavar="BASELINE_DIR",
+        default=None,
+        help=(
+            "regression-diff DIR against a second persisted directory: "
+            "shared groups render each metric as current minus "
+            "baseline; groups on one side only are flagged, never "
+            "silently dropped"
+        ),
+    )
+    parser.add_argument(
         "--partial",
         action="store_true",
         help=(
@@ -175,18 +188,29 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
     try:
         where = _parse_where(args.where or [])
         store = RecordStore.load(args.directory, partial=args.partial)
-        result = analyze_store(
-            store,
-            group_by=args.group_by or list(DEFAULT_GROUP_BY),
-            where=where,
-            metrics=args.metrics or list(DEFAULT_METRICS),
-        )
+        group_by = args.group_by or list(DEFAULT_GROUP_BY)
+        metrics = args.metrics or list(DEFAULT_METRICS)
+        if args.against:
+            baseline = RecordStore.load(args.against, partial=args.partial)
+            result = diff_stores(
+                store, baseline, group_by=group_by, where=where, metrics=metrics
+            )
+        else:
+            result = analyze_store(
+                store, group_by=group_by, where=where, metrics=metrics
+            )
     except (PersistenceError, ScenarioError) as exc:
         parser.error(str(exc))
     report = render(result, args.format)
     print(report)
     if args.format == "text":
-        print(f"({len(store)} records from {args.directory})")
+        if args.against:
+            print(
+                f"({len(store)} records from {args.directory} vs "
+                f"{len(baseline)} from {args.against})"
+            )
+        else:
+            print(f"({len(store)} records from {args.directory})")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

@@ -362,6 +362,93 @@ def analyze_store(
     return result
 
 
+def diff_stores(
+    current: RecordStore,
+    baseline: RecordStore,
+    group_by: Sequence[str] = DEFAULT_GROUP_BY,
+    where: Optional[Dict[str, str]] = None,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> ExperimentResult:
+    """Regression-diff two stores: per-group metric deltas.
+
+    Both stores are analyzed with the same filter, grouping, and
+    metrics (:func:`analyze_store`, so each side's cells match what a
+    plain ``analyze`` of that directory reports), then joined on the
+    group key.  Every shared group's numeric metrics render as
+    **current − baseline** deltas; a metric either side reports as
+    ``-`` (no applicable runs) stays ``-``.  Groups present on only
+    one side are *flagged*, not dropped: their ``status`` cell says
+    which side has them, their metric cells stay ``-``, and a summary
+    note counts them — a silent join would make a vanished cell look
+    like a zero-delta pass.
+
+    Row order: the current store's groups first (its first-seen row
+    order), then baseline-only groups.
+    """
+    cur = analyze_store(current, group_by=group_by, where=where, metrics=metrics)
+    base = analyze_store(baseline, group_by=group_by, where=where, metrics=metrics)
+    group_names = list(group_by)
+    metric_names = [m for m in metrics]
+
+    def keyed(result: ExperimentResult) -> Dict[Tuple[Any, ...], Dict[str, Any]]:
+        return {
+            tuple(row[name] for name in group_names): row
+            for row in result.rows
+        }
+
+    cur_rows = keyed(cur)
+    base_rows = keyed(base)
+    result = ExperimentResult(
+        exp_id=cur.exp_id,
+        title="persisted-record regression diff",
+        claim=(
+            "per shared group: each metric as current minus baseline "
+            "(a positive delta means the current run reports more); "
+            "groups on one side only are flagged by 'status'."
+        ),
+        columns=group_names + ["status"] + metric_names,
+    )
+    result.sweep_id = getattr(cur, "sweep_id", current.sweep_id)
+    shared = only_current = only_baseline = 0
+    for key, row in cur_rows.items():
+        other = base_rows.get(key)
+        cells = dict(zip(group_names, key))
+        if other is None:
+            only_current += 1
+            cells["status"] = "current-only"
+            for name in metric_names:
+                cells[name] = "-"
+        else:
+            shared += 1
+            cells["status"] = "both"
+            for name in metric_names:
+                a, b = row[name], other[name]
+                cells[name] = (
+                    a - b
+                    if isinstance(a, (int, float)) and isinstance(b, (int, float))
+                    else "-"
+                )
+        result.add_row(**cells)
+    for key, row in base_rows.items():
+        if key in cur_rows:
+            continue
+        only_baseline += 1
+        cells = dict(zip(group_names, key))
+        cells["status"] = "baseline-only"
+        for name in metric_names:
+            cells[name] = "-"
+        result.add_row(**cells)
+    result.note(
+        f"{shared} shared group(s) diffed; {only_current} only in the "
+        f"current directory, {only_baseline} only in the baseline."
+    )
+    for note in cur.notes:
+        result.note(f"current: {note}")
+    for note in base.notes:
+        result.note(f"baseline: {note}")
+    return result
+
+
 __all__ = [
     "DEFAULT_GROUP_BY",
     "DEFAULT_METRICS",
@@ -369,6 +456,7 @@ __all__ = [
     "METRICS",
     "Metric",
     "analyze_store",
+    "diff_stores",
     "percentile",
     "resolve_group_by",
     "resolve_metrics",

@@ -40,7 +40,8 @@ from ..runtime.aggregate import TrialRecord
 from ..runtime.persist import (
     _RESERVED_COLUMNS,
     _is_scalar,
-    load_sweep_result,
+    iter_records,
+    read_manifest,
     scan_records,
 )
 
@@ -150,9 +151,10 @@ class RecordStore:
     @classmethod
     def from_records(
         cls,
-        records: Sequence[TrialRecord],
+        records: Iterable[TrialRecord],
         sweep_id: str = "sweep",
         source: Optional[str] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> "RecordStore":
         """Transpose records into columns (missing cells become None).
 
@@ -160,17 +162,37 @@ class RecordStore:
         are embedded as compact JSON strings, mirroring the CSV view;
         every failed trial contributes ``None`` to each value column
         and its traceback to the ``error`` column.
+
+        ``records`` may be any iterable — the transpose is a single
+        pass, so feeding it a streaming reader (e.g.
+        :func:`~repro.runtime.persist.iter_records` chunks, flattened)
+        never materialises the whole record list.  ``columns`` projects
+        the store onto just those option/value columns; the bookkeeping
+        columns (``seed``, ``wall_seconds``, ``ok``, ``error``) always
+        materialise, and a requested column no record carries raises,
+        naming what the records actually offered.
         """
+        wanted = None if columns is None else set(columns)
         names: List[str] = []  # column order: first-seen
         cells: Dict[str, List[Any]] = {}
+        offered: List[str] = []  # all projectable columns encountered
+        seeds: List[int] = []
+        walls: List[float] = []
+        oks: List[bool] = []
+        errors: List[Optional[str]] = []
+        row = 0
 
         def put(row: int, key: str, value: Any) -> None:
             if key not in cells:
+                if key not in offered:
+                    offered.append(key)
+                if wanted is not None and key not in wanted:
+                    return
                 names.append(key)
                 cells[key] = [None] * row
             cells[key].append(value if _is_scalar(value) else json.dumps(value))
 
-        for row, record in enumerate(records):
+        for record in records:
             taken = set(_STORE_RESERVED)
             for key, value in record.spec.options.items():
                 column = key if key not in taken else f"option_{key}"
@@ -183,27 +205,44 @@ class RecordStore:
             for name in names:  # pad columns this record did not touch
                 if len(cells[name]) == row:
                     cells[name].append(None)
-        n = len(records)
-        columns = {name: Column(name, cells[name]) for name in names}
-        columns["seed"] = Column("seed", [r.spec.seed for r in records])
-        columns["wall_seconds"] = Column(
-            "wall_seconds", [float(r.wall_seconds) for r in records]
-        )
-        columns["ok"] = Column("ok", [r.ok for r in records])
-        columns["error"] = Column("error", [r.error for r in records])
-        return cls(columns, n, sweep_id=sweep_id, source=source)
+            seeds.append(record.spec.seed)
+            walls.append(float(record.wall_seconds))
+            oks.append(record.ok)
+            errors.append(record.error)
+            row += 1
+        if wanted is not None:
+            missing = sorted(wanted - set(names))
+            if missing:
+                raise PersistenceError(
+                    f"no such column(s) {', '.join(missing)} in "
+                    f"{source or 'records'}; available: {', '.join(offered)}"
+                )
+        store_columns = {name: Column(name, cells[name]) for name in names}
+        store_columns["seed"] = Column("seed", seeds)
+        store_columns["wall_seconds"] = Column("wall_seconds", walls)
+        store_columns["ok"] = Column("ok", oks)
+        store_columns["error"] = Column("error", errors)
+        return cls(store_columns, row, sweep_id=sweep_id, source=source)
 
     @classmethod
     def load(
-        cls, in_dir: Union[str, Path], partial: bool = False
+        cls,
+        in_dir: Union[str, Path],
+        partial: bool = False,
+        columns: Optional[Sequence[str]] = None,
     ) -> "RecordStore":
         """Load a persisted sweep directory into a store.
 
         By default the directory must be complete (manifest present and
         consistent — exactly :func:`~repro.runtime.persist.load_sweep_result`'s
-        contract).  ``partial=True`` instead salvages whatever complete
+        contract), and the records stream through
+        :func:`~repro.runtime.persist.iter_records` in bounded chunks —
+        only the columns ever hold the whole directory, never the row
+        objects.  ``partial=True`` instead salvages whatever complete
         records ``records.jsonl`` holds, manifest or not — the
-        read-only lens on an interrupted campaign.
+        read-only lens on an interrupted campaign.  ``columns``
+        projects the store (see :meth:`from_records`): a large
+        directory queried for two columns pays for two columns.
         """
         in_dir = Path(in_dir)
         if partial:
@@ -216,10 +255,17 @@ class RecordStore:
                 scan.records,
                 sweep_id=scan.sweep_id,
                 source=str(in_dir),
+                columns=columns,
             )
-        result = load_sweep_result(in_dir)
+        manifest = read_manifest(in_dir)
+        stream = (
+            record for chunk in iter_records(in_dir) for record in chunk
+        )
         return cls.from_records(
-            result.records, sweep_id=result.sweep_id, source=str(in_dir)
+            stream,
+            sweep_id=manifest.get("sweep_id", "sweep"),
+            source=str(in_dir),
+            columns=columns,
         )
 
     def __len__(self) -> int:

@@ -38,7 +38,9 @@ from .executor import (
 from .persist import (
     RecordWriter,
     ScanResult,
+    iter_records,
     load_sweep_result,
+    read_manifest,
     record_from_dict,
     record_to_dict,
     scan_records,
@@ -60,7 +62,9 @@ __all__ = [
     "TrialSpec",
     "default_jobs",
     "derive_seed",
+    "iter_records",
     "load_sweep_result",
+    "read_manifest",
     "record_from_dict",
     "record_to_dict",
     "resolve_executor",

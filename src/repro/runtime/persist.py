@@ -44,7 +44,7 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
 
 from ..errors import PersistenceError
 from .aggregate import SweepResult, TrialRecord
@@ -57,6 +57,9 @@ MANIFEST_JSON = "manifest.json"
 
 #: Bump on any incompatible change to the record JSON shape.
 SCHEMA_VERSION = 1
+
+#: Default records-per-chunk for :func:`iter_records` streaming reads.
+STREAM_CHUNK = 1024
 
 
 def record_to_dict(record: TrialRecord) -> Dict[str, Any]:
@@ -404,12 +407,12 @@ def write_sweep_result(result: SweepResult, out_dir: Union[str, Path]) -> Path:
     return Path(out_dir)
 
 
-def load_sweep_result(in_dir: Union[str, Path]) -> SweepResult:
-    """Reload a persisted sweep directory into a :class:`SweepResult`.
+def read_manifest(in_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Load and schema-check a complete directory's ``manifest.json``.
 
-    Records return in their persisted (= spec) order, so re-running an
-    aggregation over the reloaded result renders the same table, byte
-    for byte, as the original run.
+    The validation half that :func:`load_sweep_result` and
+    :func:`iter_records` share: both files must exist and the manifest
+    must carry the schema version this build reads.
     """
     in_dir = Path(in_dir)
     manifest_path = in_dir / MANIFEST_JSON
@@ -427,23 +430,68 @@ def load_sweep_result(in_dir: Union[str, Path]) -> SweepResult:
             f"unsupported schema version {schema!r} in {manifest_path} "
             f"(this build reads {SCHEMA_VERSION})"
         )
-    records: List[TrialRecord] = []
+    return manifest
+
+
+def iter_records(
+    in_dir: Union[str, Path], chunk_size: int = STREAM_CHUNK
+) -> Iterator[List[TrialRecord]]:
+    """Stream a complete directory's records as bounded chunks.
+
+    Yields lists of at most ``chunk_size`` records in persisted (=
+    spec) order, holding only one chunk's row objects at a time — the
+    memory-bounded counterpart of :func:`load_sweep_result` for
+    consumers that reduce records as they go (columnar ingestion, the
+    analyze CLI over million-row directories).  The manifest is
+    validated up front and its record count checked after the final
+    line, so a truncated ``records.jsonl`` still raises — just after
+    the valid prefix was consumed.  As a generator, errors surface at
+    iteration time, not call time.
+    """
+    in_dir = Path(in_dir)
+    if chunk_size < 1:
+        raise PersistenceError(f"chunk_size must be >= 1, got {chunk_size}")
+    manifest = read_manifest(in_dir)
+    records_path = in_dir / RECORDS_JSONL
+    count = 0
+    chunk: List[TrialRecord] = []
     with records_path.open("r", encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             if not line.strip():
                 continue
             try:
-                records.append(record_from_dict(json.loads(line)))
+                chunk.append(record_from_dict(json.loads(line)))
             except json.JSONDecodeError as exc:
                 raise PersistenceError(
                     f"{records_path}:{line_no}: invalid JSON ({exc})"
                 ) from None
+            count += 1
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+    if chunk:
+        yield chunk
     expected = manifest.get("records")
-    if expected != len(records):
+    if expected != count:
         raise PersistenceError(
             f"{in_dir}: manifest promises {expected} records, "
-            f"{RECORDS_JSONL} holds {len(records)} (truncated write?)"
+            f"{RECORDS_JSONL} holds {count} (truncated write?)"
         )
+
+
+def load_sweep_result(in_dir: Union[str, Path]) -> SweepResult:
+    """Reload a persisted sweep directory into a :class:`SweepResult`.
+
+    Records return in their persisted (= spec) order, so re-running an
+    aggregation over the reloaded result renders the same table, byte
+    for byte, as the original run.  (Thin materialising wrapper over
+    :func:`iter_records`; use that directly to keep memory bounded.)
+    """
+    in_dir = Path(in_dir)
+    manifest = read_manifest(in_dir)
+    records: List[TrialRecord] = []
+    for chunk in iter_records(in_dir):
+        records.extend(chunk)
     return SweepResult(
         sweep_id=manifest.get("sweep_id", "sweep"),
         records=records,
@@ -458,9 +506,12 @@ __all__ = [
     "RECORDS_JSONL",
     "RecordWriter",
     "SCHEMA_VERSION",
+    "STREAM_CHUNK",
     "ScanResult",
     "flatten_record",
+    "iter_records",
     "load_sweep_result",
+    "read_manifest",
     "record_from_dict",
     "record_to_dict",
     "scan_records",

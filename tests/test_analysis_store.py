@@ -609,3 +609,140 @@ class TestLegacyImports:
         )
 
         assert latency_stats is canonical
+
+
+class TestColumnProjection:
+    def test_projected_store_matches_full_store_columns(self, tmp_path):
+        out, _ = _persisted(tmp_path)
+        full = RecordStore.load(out)
+        slim = RecordStore.load(out, columns=["protocol", "latency"])
+        assert set(slim.column_names()) == {
+            "protocol", "latency", "seed", "wall_seconds", "ok", "error"
+        }
+        for name in ("protocol", "latency", "seed", "ok"):
+            assert list(slim.column(name)) == list(full.column(name))
+        assert len(slim) == len(full)
+
+    def test_projection_preserves_query_results(self, tmp_path):
+        out, _ = _persisted(tmp_path)
+        slim = RecordStore.load(out, columns=["protocol", "bob_paid", "latency"])
+        table = analyze_store(
+            slim, group_by=["protocol"], metrics=["runs", "success"]
+        )
+        full_table = analyze_store(
+            RecordStore.load(out), group_by=["protocol"],
+            metrics=["runs", "success"],
+        )
+        assert render_table(table).splitlines()[2:] == render_table(
+            full_table
+        ).splitlines()[2:]
+
+    def test_unknown_projection_column_names_available(self, tmp_path):
+        out, _ = _persisted(tmp_path)
+        with pytest.raises(PersistenceError, match="nope.*available"):
+            RecordStore.load(out, columns=["protocol", "nope"])
+
+    def test_partial_load_supports_projection(self, tmp_path):
+        out, _ = _persisted(tmp_path)
+        (out / MANIFEST_JSON).unlink()
+        slim = RecordStore.load(out, partial=True, columns=["protocol"])
+        assert "protocol" in slim.column_names()
+        assert "latency" not in slim.column_names()
+
+
+class TestIterRecords:
+    def test_chunks_cover_directory_in_order(self, tmp_path):
+        from repro.runtime import iter_records
+
+        out, result = _persisted(tmp_path)
+        streamed = [r for chunk in iter_records(out, chunk_size=3)
+                    for r in chunk]
+        assert len(streamed) == len(result.records)
+        assert [r.spec.coords for r in streamed] == [
+            r.spec.coords for r in result.records
+        ]
+        chunks = list(iter_records(out, chunk_size=3))
+        assert all(len(c) <= 3 for c in chunks)
+        assert len(chunks) > 1  # the default campaign has 4 records
+
+    def test_truncated_directory_raises_after_prefix(self, tmp_path):
+        from repro.runtime import iter_records
+
+        out, _ = _persisted(tmp_path)
+        jsonl = out / RECORDS_JSONL
+        lines = jsonl.read_bytes().splitlines(keepends=True)
+        jsonl.write_bytes(b"".join(lines[:-1]))  # drop one record
+        with pytest.raises(PersistenceError, match="manifest promises"):
+            list(iter_records(out))
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        from repro.runtime import iter_records
+
+        out, _ = _persisted(tmp_path)
+        with pytest.raises(PersistenceError, match="chunk_size"):
+            list(iter_records(out, chunk_size=0))
+
+
+class TestAgainstDiff:
+    def _pair(self, tmp_path):
+        cur, _ = _persisted(tmp_path, name="cur",
+                            protocols=["htlc", "weak", "certified"])
+        base, _ = _persisted(tmp_path, name="base",
+                             protocols=["htlc", "weak", "timebounded"])
+        return cur, base
+
+    def test_shared_cells_delta_to_zero_for_identical_runs(self, tmp_path):
+        from repro.analysis import diff_stores
+
+        out, _ = _persisted(tmp_path)
+        store = RecordStore.load(out)
+        result = diff_stores(store, RecordStore.load(out),
+                             group_by=["protocol"],
+                             metrics=["runs", "success", "mean_latency"])
+        for row in result.rows:
+            assert row["status"] == "both"
+            assert row["runs"] == 0
+            assert row["success"] == 0.0
+            assert row["mean_latency"] == 0.0
+
+    def test_missing_and_extra_cells_flagged(self, tmp_path):
+        from repro.analysis import diff_stores
+
+        cur, base = self._pair(tmp_path)
+        result = diff_stores(
+            RecordStore.load(cur), RecordStore.load(base),
+            group_by=["protocol"], metrics=["runs", "success"],
+        )
+        status = {row["protocol"]: row["status"] for row in result.rows}
+        assert status == {
+            "htlc": "both", "weak": "both",
+            "certified": "current-only", "timebounded": "baseline-only",
+        }
+        one_sided = [r for r in result.rows if r["status"] != "both"]
+        assert all(r["runs"] == "-" and r["success"] == "-"
+                   for r in one_sided)
+        assert any("1 only in the current" in note and
+                   "1 only in the baseline" in note
+                   for note in result.notes)
+
+    def test_cli_against_renders_and_json_parses(self, tmp_path, capsys):
+        cur, base = self._pair(tmp_path)
+        assert analyze_main([str(cur), "--against", str(base),
+                             "--group-by", "protocol",
+                             "--metrics", "runs,success"]) == 0
+        text = capsys.readouterr().out
+        assert "regression diff" in text
+        assert "records from" in text and " vs " in text
+        report = tmp_path / "diff.json"
+        assert analyze_main([str(cur), "--against", str(base),
+                             "--group-by", "protocol", "--format", "json",
+                             "--output", str(report)]) == 0
+        capsys.readouterr()
+        document = json.loads(report.read_text())
+        assert "status" in document["columns"]
+
+    def test_against_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        out, _ = _persisted(tmp_path)
+        with pytest.raises(SystemExit):
+            analyze_main([str(out), "--against", str(tmp_path / "nope")])
+        capsys.readouterr()
