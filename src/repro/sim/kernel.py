@@ -275,9 +275,66 @@ class Simulator:
         heappop = _heappop  # local binding: LOAD_FAST in the loop
         getrefcount = _getrefcount
         conditions = self._stop_conditions
+        executed = 0
+        if until is None and max_events is None:
+            # Fast drain loop: no horizon or budget to compare per
+            # event (the bare ``run()`` that empties the queue — the
+            # kernel benchmark's shape).  Same body as the general
+            # loop below minus the two bound checks and the
+            # ``exhausted`` bookkeeping (with no horizon the clock is
+            # never adjusted on exit); the ``conditions`` re-check per
+            # event stays, so a stop condition added mid-run by a
+            # callback is still honoured.  ``_stopped`` is checked
+            # after firing instead of in the loop condition — run()
+            # clears it on entry and stop() only promises to halt
+            # *after* the current event, so the placement is
+            # observably identical one comparison cheaper.  Keep in
+            # lockstep with the general loop.
+            try:
+                while heap:
+                    head = heap[0]
+                    event = head[3]
+                    if event.cancelled or event.fired:
+                        heappop(heap)
+                        if event._counted:
+                            event._counted = False
+                            queue._live -= 1
+                        if getrefcount(event) == 3:
+                            event.fn = None
+                            event.args = None
+                            free_append(event)
+                        continue
+                    heappop(heap)
+                    event._counted = False
+                    queue._live -= 1
+                    self._now = head[0]
+                    executed += 1
+                    self._executed += 1
+                    event.fired = True
+                    args = event.args
+                    if args:
+                        event.fn(*args)
+                    else:
+                        event.fn()  # plain call: skips CALL_EX unpack
+                    if getrefcount(event) == 3:
+                        event.fn = None
+                        event.args = None
+                        free_append(event)
+                    if self._stopped:
+                        break
+                    if conditions:
+                        stop = False
+                        for condition in conditions:
+                            if condition(self):
+                                stop = True
+                                break
+                        if stop:
+                            break
+            finally:
+                self._running = False
+            return executed
         horizon = until if until is not None else _INF
         budget = max_events if max_events is not None else _INF
-        executed = 0
         # Whether the loop ended because no due event remained (queue
         # drained or horizon passed) — the only exits on which the
         # horizon may bind the clock.  stop(), stop conditions, and
@@ -314,7 +371,11 @@ class Simulator:
                 executed += 1
                 self._executed += 1
                 event.fired = True
-                event.fn(*event.args)
+                args = event.args
+                if args:
+                    event.fn(*args)
+                else:
+                    event.fn()  # plain call: skips CALL_EX unpack
                 if getrefcount(event) == 3:
                     event.fn = None
                     event.args = None

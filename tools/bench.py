@@ -17,7 +17,7 @@ layers and reports one *rate* metric per stage:
   liquidity substrate (one kernel, many interleaved sessions behind
   ``SessionView``s, admission/retirement against bounded pools).
 
-The result is a *trajectory point*: a JSON document (``BENCH_8.json``
+The result is a *trajectory point*: a JSON document (``BENCH_10.json``
 at the repo root is the committed baseline) recording the metrics
 together with the git revision and host fingerprint.  ``--check``
 re-measures and compares the fresh **rate** metrics against the
@@ -31,16 +31,23 @@ wall time measures whoever else shares the runner.
 Usage::
 
     PYTHONPATH=src python tools/bench.py                  # measure, print
-    PYTHONPATH=src python tools/bench.py --out BENCH_8.json
+    PYTHONPATH=src python tools/bench.py --out BENCH_10.json
     PYTHONPATH=src python tools/bench.py --check          # CI gate
     PYTHONPATH=src python tools/bench.py --check --tolerance 4
     PYTHONPATH=src python tools/bench.py --suites kernel --repeat 5
-    PYTHONPATH=src python tools/bench.py --out BENCH_8.json \
+    PYTHONPATH=src python tools/bench.py --out BENCH_10.json \
         --before /tmp/bench_before.json   # embed pre-optimization point
+    PYTHONPATH=src python tools/bench.py --profile bench-profile.txt
 
 ``--before FILE`` embeds an earlier trajectory point (same schema)
 under ``baseline`` and computes per-metric ``speedup`` ratios, which
 is how a BENCH file documents a before/after optimization story.
+
+``--profile FILE`` runs one *extra* pass of each selected suite under
+``cProfile`` after the timed measurements and writes the top 25
+functions by cumulative time to ``FILE`` — the gated rates stay
+unprofiled (instrumentation would distort them), while CI uploads the
+dump so a regression is diagnosable straight from the run page.
 """
 
 from __future__ import annotations
@@ -65,7 +72,7 @@ for entry in (ROOT / "src", ROOT / "benchmarks"):
 SCHEMA = 1
 
 #: The committed baseline this repo's CI gates against.
-DEFAULT_BASELINE = ROOT / "BENCH_8.json"
+DEFAULT_BASELINE = ROOT / "BENCH_10.json"
 
 #: Gate metrics per suite: size-independent rates (higher = better).
 #: ``--check`` compares exactly these; wall-clock seconds are
@@ -322,7 +329,7 @@ def measure(
     """Run the named suites and assemble one trajectory point."""
     point: Dict[str, Any] = {
         "schema": SCHEMA,
-        "issue": 8,
+        "issue": 10,
         "git_rev": _git_rev(),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -359,6 +366,32 @@ def attach_before(point: Dict[str, Any], before: Dict[str, Any]) -> None:
                     new[metric] / old[metric]
                 )
     point["speedup"] = speedup
+
+
+def profile_suites(suites: List[str], quick: bool, out_file: str) -> None:
+    """One profiled pass per suite; top-25 cumulative dump to ``out_file``.
+
+    Runs *after* (and separately from) the timed measurements so the
+    gated rates never carry ``cProfile``'s instrumentation overhead.
+    A single repetition is enough: the dump ranks where time goes, it
+    does not gate anything.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for name in suites:
+        SUITES[name](quick, 1)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    with open(out_file, "w", encoding="utf-8") as handle:
+        handle.write(f"cProfile over suites {', '.join(suites)} @ {_git_rev()}\n")
+        handle.write(stream.getvalue())
+    print(f"bench: wrote profile dump {out_file}", file=sys.stderr)
 
 
 def check(
@@ -454,7 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         metavar="FILE",
         default=str(DEFAULT_BASELINE),
-        help="baseline trajectory point for --check (default: BENCH_8.json)",
+        help="baseline trajectory point for --check (default: BENCH_10.json)",
     )
     parser.add_argument(
         "--tolerance",
@@ -470,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="embed FILE (an earlier point) as the baseline section and "
         "compute per-metric speedups",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help="after the timed measurements, run one extra cProfile pass "
+        "per suite and write the top-25 cumulative dump to FILE "
+        "(the gated rates stay unprofiled)",
     )
     return parser
 
@@ -512,6 +553,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(point, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"bench: wrote {args.out}")
+
+    if args.profile:
+        profile_suites(suites, quick=args.quick, out_file=args.profile)
 
     if args.check:
         try:
